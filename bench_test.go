@@ -1,0 +1,379 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation (one benchmark per exhibit) plus the ablation studies
+// of DESIGN.md §4. Results that matter are reported as custom metrics in
+// deterministic simulated work units; wall-clock ns/op confirms the engine
+// itself is fast.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/dmv"
+	"repro/internal/executor"
+	"repro/internal/expr"
+	"repro/internal/harness"
+	"repro/internal/optimizer"
+	"repro/internal/pop"
+	"repro/internal/stats"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+// Shared fixtures, loaded once.
+var (
+	tpchOnce sync.Once
+	tpchDB   *catalog.Catalog
+
+	dmvOnce sync.Once
+	dmvDB   *catalog.Catalog
+	dmvQS   []dmv.QueryInfo
+)
+
+func tpchFixture(b *testing.B) *catalog.Catalog {
+	b.Helper()
+	tpchOnce.Do(func() {
+		tpchDB = catalog.New()
+		if err := tpch.Load(tpchDB, tpch.Config{ScaleFactor: 0.003, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return tpchDB
+}
+
+func dmvFixture(b *testing.B) (*catalog.Catalog, []dmv.QueryInfo) {
+	b.Helper()
+	dmvOnce.Do(func() {
+		dmvDB = catalog.New()
+		if err := dmv.Load(dmvDB, dmv.Config{Scale: 0.3, Seed: 17}); err != nil {
+			b.Fatal(err)
+		}
+		var err error
+		dmvQS, err = dmv.Queries(dmvDB)
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	return dmvDB, dmvQS
+}
+
+// BenchmarkTable1CheckpointPlacement regenerates Table 1's subject matter:
+// it measures the checkpoint-placement post-pass over the Q5 plan and
+// reports how many checkpoints each flavor family places.
+func BenchmarkTable1CheckpointPlacement(b *testing.B) {
+	cat := tpchFixture(b)
+	queries, err := tpch.Queries(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := queries["Q5"]
+	plan, err := optimizer.New(cat).Optimize(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := pop.Policy{LC: true, LCEM: true, RequireBoundedRange: false}
+	var checks int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, checks = pop.Place(plan, q, pol)
+	}
+	b.ReportMetric(float64(checks), "checkpoints")
+}
+
+// BenchmarkFig11Robustness regenerates Figure 11 and reports the headline
+// series values at 100% selectivity.
+func BenchmarkFig11Robustness(b *testing.B) {
+	cat := tpchFixture(b)
+	var points []harness.Fig11Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = harness.Fig11(cat, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := points[len(points)-1]
+	b.ReportMetric(last.POPDefault, "work_POP")
+	b.ReportMetric(last.NoPOPDefault, "work_static")
+	b.ReportMetric(last.Optimal, "work_optimal")
+	b.ReportMetric(float64(harness.DistinctOptimalPlans(points)), "optimal_plans")
+}
+
+// BenchmarkFig12LCOverhead regenerates Figure 12 and reports the mean
+// normalized execution time of a dummy re-optimization (paper: ~1.02-1.03).
+func BenchmarkFig12LCOverhead(b *testing.B) {
+	cat := tpchFixture(b)
+	var bars []harness.Fig12Bar
+	var err error
+	for i := 0; i < b.N; i++ {
+		bars, err = harness.Fig12(cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(bars) == 0 {
+		b.Fatal("no bars")
+	}
+	sum := 0.0
+	for _, bar := range bars {
+		sum += bar.Normalized
+	}
+	b.ReportMetric(sum/float64(len(bars)), "mean_normalized")
+	b.ReportMetric(float64(len(bars)), "bars")
+}
+
+// BenchmarkFig13LCEMOverhead regenerates Figure 13 and reports the worst
+// LCEM materialization overhead (paper: ≤ ~1.03).
+func BenchmarkFig13LCEMOverhead(b *testing.B) {
+	cat := tpchFixture(b)
+	var rows []harness.Fig13Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.Fig13(cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, r := range rows {
+		if r.Overhead > worst {
+			worst = r.Overhead
+		}
+	}
+	b.ReportMetric(worst, "worst_overhead")
+}
+
+// BenchmarkFig14Opportunities regenerates Figure 14 and reports how many
+// checkpoint opportunities occur in the first half of execution.
+func BenchmarkFig14Opportunities(b *testing.B) {
+	cat := tpchFixture(b)
+	var points []harness.Fig14Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = harness.Fig14(cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	early := 0
+	for _, p := range points {
+		if p.Start < 0.5 {
+			early++
+		}
+	}
+	b.ReportMetric(float64(len(points)), "opportunities")
+	b.ReportMetric(float64(early), "in_first_half")
+}
+
+// BenchmarkFig15DMV regenerates the Figure 15 scatter over a deterministic
+// workload subset and reports aggregate work with and without POP.
+func BenchmarkFig15DMV(b *testing.B) {
+	cat, qs := dmvFixture(b)
+	subset := qs[:13]
+	var results []harness.DMVResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		results, err = harness.DMVStudy(cat, subset)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var off, on float64
+	for _, r := range results {
+		off += r.WorkOff
+		on += r.WorkOn
+	}
+	b.ReportMetric(off, "work_static_total")
+	b.ReportMetric(on, "work_POP_total")
+}
+
+// BenchmarkFig16Speedups regenerates Figure 16's summary statistics.
+func BenchmarkFig16Speedups(b *testing.B) {
+	cat, qs := dmvFixture(b)
+	subset := qs[:13]
+	var s harness.DMVSummary
+	for i := 0; i < b.N; i++ {
+		results, err := harness.DMVStudy(cat, subset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s = harness.Summarize(results)
+	}
+	b.ReportMetric(float64(s.Improved), "improved")
+	b.ReportMetric(float64(s.Regressed), "regressed")
+	b.ReportMetric(s.MaxSpeedup, "max_speedup")
+	b.ReportMetric(s.MaxRegression, "max_regression")
+}
+
+// --------------------------------------------------------------------------
+// Ablations (DESIGN.md §4).
+
+// fig11Run executes Q10-with-marker at the given l_quantity binding under
+// the given policy and returns the total work and re-optimization count.
+func fig11Run(b *testing.B, pol pop.Policy, qty float64) (float64, int) {
+	b.Helper()
+	cat := tpchFixture(b)
+	q, err := tpch.Q10Param(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := pop.Options{Enabled: true, Policy: pol, MaxReopts: 3}
+	res, err := pop.NewRunner(cat, opts).Run(q, []types.Datum{types.NewFloat(qty)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Work, res.Reopts
+}
+
+// BenchmarkAblationThresholds compares validity-range check ranges against
+// the ad-hoc fixed error thresholds of [KD98] in two regimes:
+//
+//   - high selectivity (qty=50): the plan must change. A loose fixed
+//     threshold (1000x) misses the change entirely and runs the bad plan.
+//   - mid selectivity (qty=2.5): the estimates are near-correct and the plan is
+//     optimal. A tight fixed threshold (1.2x) still fires (some edge is always
+//     slightly off) and re-optimizes needlessly; validity ranges hold.
+func BenchmarkAblationThresholds(b *testing.B) {
+	var wValidityHi, wLooseHi, wValidityMid, wTightMid float64
+	var rValidityHi, rLooseHi, rValidityMid, rTightMid int
+	for i := 0; i < b.N; i++ {
+		wValidityHi, rValidityHi = fig11Run(b, pop.DefaultPolicy(), 50)
+		pol := pop.DefaultPolicy()
+		pol.FixedThresholdFactor = 1000
+		wLooseHi, rLooseHi = fig11Run(b, pol, 50)
+
+		wValidityMid, rValidityMid = fig11Run(b, pop.DefaultPolicy(), 2.5)
+		pol = pop.DefaultPolicy()
+		pol.FixedThresholdFactor = 1.2
+		wTightMid, rTightMid = fig11Run(b, pol, 2.5)
+	}
+	b.ReportMetric(wValidityHi, "hi_work_validity")
+	b.ReportMetric(wLooseHi, "hi_work_fixed1000x")
+	b.ReportMetric(float64(rValidityHi), "hi_reopts_validity")
+	b.ReportMetric(float64(rLooseHi), "hi_reopts_fixed1000x")
+	b.ReportMetric(wValidityMid, "mid_work_validity")
+	b.ReportMetric(wTightMid, "mid_work_fixed1.2x")
+	b.ReportMetric(float64(rValidityMid), "mid_reopts_validity")
+	b.ReportMetric(float64(rTightMid), "mid_reopts_fixed1.2x")
+}
+
+// BenchmarkAblationMVReuse measures the value of offering intermediate
+// results to the optimizer as materialized views during re-optimization.
+func BenchmarkAblationMVReuse(b *testing.B) {
+	cat, qs := dmvFixture(b)
+	q := qs[1].Query // triple-correlated combo: always re-optimizes
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		res, err := pop.NewRunner(cat, pop.DefaultOptions()).Run(q, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with = res.Work
+		opts := pop.DefaultOptions()
+		opts.Configure = func(o *optimizer.Optimizer) { o.DisableMVReuse = true }
+		res, err = pop.NewRunner(cat, opts).Run(q, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		without = res.Work
+	}
+	b.ReportMetric(with, "work_with_reuse")
+	b.ReportMetric(without, "work_without_reuse")
+}
+
+// BenchmarkAblationEagerVsLazy compares LCEM (lazy, materialize first)
+// against ECB (eager, fire mid-buffer) on a plan whose outer blows up.
+func BenchmarkAblationEagerVsLazy(b *testing.B) {
+	cat, qs := dmvFixture(b)
+	q := qs[1].Query
+	var lazy, eager float64
+	for i := 0; i < b.N; i++ {
+		opts := pop.DefaultOptions() // LC + LCEM
+		res, err := pop.NewRunner(cat, opts).Run(q, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lazy = res.Work
+		opts = pop.DefaultOptions()
+		opts.Policy.LCEM = false
+		opts.Policy.ECB = true
+		res, err = pop.NewRunner(cat, opts).Run(q, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eager = res.Work
+	}
+	b.ReportMetric(lazy, "work_LCEM")
+	b.ReportMetric(eager, "work_ECB")
+}
+
+// --------------------------------------------------------------------------
+// Engine micro-benchmarks: wall-clock sanity of the substrates.
+
+// BenchmarkOptimizeQ5 measures full DP optimization (with validity-range
+// sensitivity analysis) of a six-way join.
+func BenchmarkOptimizeQ5(b *testing.B) {
+	cat := tpchFixture(b)
+	queries, err := tpch.Queries(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := queries["Q5"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimizer.New(cat).Optimize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteQ3 measures end-to-end execution of Q3 without POP.
+func BenchmarkExecuteQ3(b *testing.B) {
+	cat := tpchFixture(b)
+	queries, err := tpch.Queries(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := queries["Q3"]
+	opt := optimizer.New(cat)
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := executor.NewExecutor(cat, q, nil, opt.Model.Params, &executor.Meter{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		root, err := ex.Build(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := executor.Run(root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectivityEstimation measures predicate selectivity estimation
+// against histograms and MCVs.
+func BenchmarkSelectivityEstimation(b *testing.B) {
+	vals := make([]types.Datum, 100000)
+	for i := range vals {
+		vals[i] = types.NewInt(int64(i % 1000))
+	}
+	cs := stats.BuildColumnStats(vals, stats.DefaultBucketCount)
+	lk := func(int) *stats.ColumnStats { return cs }
+	pred := &expr.Logic{Op: expr.And, Args: []expr.Expr{
+		&expr.Cmp{Op: expr.LT, L: &expr.ColRef{Pos: 0}, R: &expr.Const{Val: types.NewInt(500)}},
+		&expr.Cmp{Op: expr.EQ, L: &expr.ColRef{Pos: 1}, R: &expr.Const{Val: types.NewInt(3)}},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.Selectivity(pred, lk)
+	}
+}

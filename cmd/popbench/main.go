@@ -1,0 +1,132 @@
+// Command popbench regenerates every table and figure of the paper's
+// evaluation (§5, §6) on the synthetic substrates. All numbers are
+// deterministic simulated work units; see DESIGN.md for the substitutions.
+//
+// Usage:
+//
+//	popbench -all                 # every experiment
+//	popbench -fig 11 -steps 10    # one figure
+//	popbench -table 1
+//	popbench -fig 15 -dmvscale 1 -queries 39
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/dmv"
+	"repro/internal/harness"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate (11-16); 0 with -all runs everything")
+		table    = flag.Int("table", 0, "table to regenerate (1)")
+		all      = flag.Bool("all", false, "run every experiment")
+		sf       = flag.Float64("sf", 0.005, "TPC-H scale factor (SF1 = 6M lineitems)")
+		dmvScale = flag.Float64("dmvscale", 0.5, "DMV database scale (1.0 = 30k cars)")
+		steps    = flag.Int("steps", 10, "selectivity steps for figure 11")
+		nq       = flag.Int("queries", dmv.NumQueries, "number of DMV queries for figures 15/16")
+	)
+	flag.Parse()
+
+	if !*all && *fig == 0 && *table == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var tpchCat *catalog.Catalog
+	loadTPCH := func() *catalog.Catalog {
+		if tpchCat == nil {
+			start := time.Now()
+			tpchCat = catalog.New()
+			if err := tpch.Load(tpchCat, tpch.Config{ScaleFactor: *sf, Seed: 42}); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "loaded TPC-H SF=%g in %v\n", *sf, time.Since(start).Round(time.Millisecond))
+		}
+		return tpchCat
+	}
+
+	run := func(n int) {
+		switch n {
+		case 11:
+			points, err := harness.Fig11(loadTPCH(), *steps)
+			if err != nil {
+				fatal(err)
+			}
+			harness.WriteFig11(os.Stdout, points)
+		case 12:
+			bars, err := harness.Fig12(loadTPCH())
+			if err != nil {
+				fatal(err)
+			}
+			harness.WriteFig12(os.Stdout, bars)
+		case 13:
+			rows, err := harness.Fig13(loadTPCH())
+			if err != nil {
+				fatal(err)
+			}
+			harness.WriteFig13(os.Stdout, rows)
+		case 14:
+			points, err := harness.Fig14(loadTPCH())
+			if err != nil {
+				fatal(err)
+			}
+			harness.WriteFig14(os.Stdout, points)
+		case 15, 16:
+			start := time.Now()
+			cat := catalog.New()
+			if err := dmv.Load(cat, dmv.Config{Scale: *dmvScale, Seed: 17}); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "loaded DMV scale=%g in %v\n", *dmvScale, time.Since(start).Round(time.Millisecond))
+			qs, err := dmv.Queries(cat)
+			if err != nil {
+				fatal(err)
+			}
+			if *nq < len(qs) {
+				qs = qs[:*nq]
+			}
+			results, err := harness.DMVStudy(cat, qs)
+			if err != nil {
+				fatal(err)
+			}
+			if n == 15 {
+				harness.WriteFig15(os.Stdout, results)
+			} else {
+				harness.WriteFig16(os.Stdout, results)
+			}
+		default:
+			fatal(fmt.Errorf("unknown figure %d (supported: 11-16)", n))
+		}
+		fmt.Println()
+	}
+
+	if *all {
+		harness.WriteTable1(os.Stdout)
+		fmt.Println()
+		for _, n := range []int{11, 12, 13, 14, 15, 16} {
+			run(n)
+		}
+		return
+	}
+	if *table == 1 {
+		harness.WriteTable1(os.Stdout)
+		fmt.Println()
+	} else if *table != 0 {
+		fatal(fmt.Errorf("unknown table %d (supported: 1)", *table))
+	}
+	if *fig != 0 {
+		run(*fig)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "popbench:", err)
+	os.Exit(1)
+}

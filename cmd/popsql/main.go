@@ -1,0 +1,227 @@
+// Command popsql is an interactive shell over the engine: it loads one of
+// the bundled workload databases and runs SQL with progressive optimization
+// on or off, showing plans, re-optimizations and simulated cost.
+//
+// Usage:
+//
+//	popsql -db tpch -sf 0.005
+//	popsql -db dmv -scale 0.5
+//	popsql -db csv -dir ./data     # load every *.csv in a directory
+//
+// Shell commands:
+//
+//	\pop on|off     toggle progressive optimization
+//	\explain SQL    show the plan (with validity ranges) without running
+//	\analyze SQL    run the plan and show per-operator actual row counts
+//	\tables         list tables
+//	\q              quit
+//	SQL;            execute
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/dmv"
+	"repro/internal/executor"
+	"repro/internal/optimizer"
+	"repro/internal/pop"
+	"repro/internal/sqlparse"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		db    = flag.String("db", "tpch", "database to load: tpch, dmv or csv")
+		sf    = flag.Float64("sf", 0.005, "TPC-H scale factor")
+		scale = flag.Float64("scale", 0.5, "DMV scale")
+		dir   = flag.String("dir", ".", "directory of *.csv files for -db csv")
+	)
+	flag.Parse()
+
+	cat := catalog.New()
+	switch *db {
+	case "tpch":
+		if err := tpch.Load(cat, tpch.Config{ScaleFactor: *sf, Seed: 42}); err != nil {
+			fatal(err)
+		}
+	case "dmv":
+		if err := dmv.Load(cat, dmv.Config{Scale: *scale, Seed: 17}); err != nil {
+			fatal(err)
+		}
+	case "csv":
+		if err := loadCSVDir(cat, *dir); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown database %q", *db))
+	}
+	fmt.Printf("loaded %s: tables %v\n", *db, cat.TableNames())
+	fmt.Println(`POP is ON. Try: SELECT n_name, COUNT(*) AS n FROM nation, supplier WHERE n_nationkey = s_nationkey GROUP BY n_name;`)
+
+	popOn := true
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("popsql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q`:
+			return
+		case line == `\tables`:
+			fmt.Println(cat.TableNames())
+		case strings.HasPrefix(line, `\pop`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\pop`))
+			popOn = arg != "off"
+			fmt.Printf("POP is now %v\n", onOff(popOn))
+		case strings.HasPrefix(line, `\explain`):
+			explain(cat, strings.TrimSpace(strings.TrimPrefix(line, `\explain`)))
+		case strings.HasPrefix(line, `\analyze`):
+			analyze(cat, strings.TrimSpace(strings.TrimPrefix(line, `\analyze`)))
+		default:
+			execute(cat, line, popOn)
+		}
+		fmt.Print("popsql> ")
+	}
+}
+
+func onOff(b bool) string {
+	if b {
+		return "ON"
+	}
+	return "OFF"
+}
+
+func explain(cat *catalog.Catalog, sql string) {
+	q, err := sqlparse.Parse(cat, strings.TrimSuffix(sql, ";"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	opt := optimizer.New(cat)
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	withChecks, n := pop.Place(plan, q, pop.DefaultPolicy())
+	fmt.Printf("-- plan (est cost %.0f, %d checkpoints):\n%s", plan.Cost, n, optimizer.Explain(withChecks, q))
+}
+
+// analyze runs the statically chosen plan and prints each operator with its
+// estimated vs actual cardinality — the quickest way to see the estimation
+// errors POP reacts to.
+func analyze(cat *catalog.Catalog, sql string) {
+	q, err := sqlparse.Parse(cat, strings.TrimSuffix(sql, ";"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	opt := optimizer.New(cat)
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	meter := &executor.Meter{}
+	ex, err := executor.NewExecutor(cat, q, nil, opt.Model.Params, meter)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	root, err := ex.Build(plan)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rows, err := executor.Run(root)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var show func(n executor.Node, depth int)
+	show = func(n executor.Node, depth int) {
+		p := n.Plan()
+		st := n.Stats()
+		errFactor := ""
+		if p.Card > 0 && st.RowsOut > 0 {
+			f := st.RowsOut / p.Card
+			if f >= 2 || f <= 0.5 {
+				errFactor = fmt.Sprintf("  ← %.1fx estimation error", f)
+			}
+		}
+		fmt.Printf("%s%s  est=%.1f actual=%.0f%s\n",
+			strings.Repeat("  ", depth), p.Op, p.Card, st.RowsOut, errFactor)
+		for _, c := range n.Children() {
+			show(c, depth+1)
+		}
+	}
+	show(root, 0)
+	fmt.Printf("-- %d rows, %.0f work units\n", len(rows), meter.Work)
+}
+
+func execute(cat *catalog.Catalog, sql string, popOn bool) {
+	q, err := sqlparse.Parse(cat, strings.TrimSuffix(sql, ";"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	opts := pop.DefaultOptions()
+	opts.Enabled = popOn
+	res, err := pop.NewRunner(cat, opts).Run(q, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	limit := 20
+	for i, row := range res.Rows {
+		if i >= limit {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-limit)
+			break
+		}
+		fmt.Println(row)
+	}
+	fmt.Printf("-- %d rows, %.0f work units, %d re-optimization(s)\n", len(res.Rows), res.Work, res.Reopts)
+	if res.Reopts > 0 {
+		for i, a := range res.Attempts {
+			if a.Violation != nil {
+				fmt.Printf("-- attempt %d: %v\n", i, a.Violation)
+			}
+		}
+	}
+}
+
+// loadCSVDir loads every *.csv file in dir as a table named after the file.
+func loadCSVDir(cat *catalog.Catalog, dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no *.csv files in %s", dir)
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".csv")
+		_, err = cat.LoadCSV(name, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "popsql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,271 @@
+// Package catalog holds database metadata: tables, their indexes and
+// statistics, and the registry of temporary materialized views that POP
+// creates from intermediate results during re-optimization (paper §2.3).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Table bundles a heap with its schema, indexes and statistics.
+type Table struct {
+	Name    string
+	Schema  *schema.Schema
+	Heap    *storage.Table
+	Hash    []*storage.HashIndex
+	BTrees  []*storage.BTreeIndex
+	ColStat []*stats.ColumnStats // by ordinal; nil until AnalyzeTable
+}
+
+// RowCount returns the table cardinality.
+func (t *Table) RowCount() float64 { return float64(t.Heap.RowCount()) }
+
+// BTreeOn returns the B+tree index whose key is the given ordinal, or nil.
+func (t *Table) BTreeOn(ord int) *storage.BTreeIndex {
+	for _, ix := range t.BTrees {
+		if ix.KeyOrdinal() == ord {
+			return ix
+		}
+	}
+	return nil
+}
+
+// HashOn returns a hash index whose key is exactly the given single
+// ordinal, or nil.
+func (t *Table) HashOn(ord int) *storage.HashIndex {
+	for _, ix := range t.Hash {
+		k := ix.KeyOrdinals()
+		if len(k) == 1 && k[0] == ord {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Stats returns the column statistics for an ordinal, or nil.
+func (t *Table) Stats(ord int) *stats.ColumnStats {
+	if ord < 0 || ord >= len(t.ColStat) {
+		return nil
+	}
+	return t.ColStat[ord]
+}
+
+// MatView is a temporary materialized view created from an intermediate
+// result at a CHECK. Its signature identifies the logical content — the set
+// of base tables joined and the canonical text of all predicates applied —
+// which is how the optimizer matches it against subplans during
+// re-optimization. Cardinality is exact, taken from the runtime counter.
+type MatView struct {
+	Signature string
+	Schema    *schema.Schema
+	Cols      []int // query-global column ids, in row order
+	Rows      []schema.Row
+	Card      float64
+	// Sorted reports that the rows are sorted ascending on OrderedCol (a
+	// query-global column id). A view promoted from a SORT keeps its order,
+	// so re-optimized merge joins can reuse it without re-sorting.
+	Sorted     bool
+	OrderedCol int
+}
+
+// Catalog is the top-level metadata store.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*MatView
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		views:  make(map[string]*MatView),
+	}
+}
+
+// CreateTable registers a new empty table with the given schema.
+func (c *Catalog) CreateTable(name string, s *schema.Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := c.tables[key]; dup {
+		return nil, fmt.Errorf("catalog: table %s already exists", name)
+	}
+	t := &Table{
+		Name:    name,
+		Schema:  s,
+		Heap:    storage.NewTable(name, s),
+		ColStat: make([]*stats.ColumnStats, s.Len()),
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Table looks up a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %s does not exist", name)
+	}
+	return t, nil
+}
+
+// TableNames returns all table names, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateBTreeIndex builds a B+tree index over one column of a table.
+func (c *Catalog) CreateBTreeIndex(name, tableName, colName string) (*storage.BTreeIndex, error) {
+	t, err := c.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	ord := t.Schema.Ordinal(colName)
+	if ord < 0 {
+		return nil, fmt.Errorf("catalog: column %s does not exist in %s", colName, tableName)
+	}
+	ix, err := storage.NewBTreeIndex(name, t.Heap, ord)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	t.BTrees = append(t.BTrees, ix)
+	c.mu.Unlock()
+	return ix, nil
+}
+
+// CreateHashIndex builds a hash index over one or more columns of a table.
+func (c *Catalog) CreateHashIndex(name, tableName string, colNames ...string) (*storage.HashIndex, error) {
+	t, err := c.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	ords := make([]int, len(colNames))
+	for i, cn := range colNames {
+		ords[i] = t.Schema.Ordinal(cn)
+		if ords[i] < 0 {
+			return nil, fmt.Errorf("catalog: column %s does not exist in %s", cn, tableName)
+		}
+	}
+	ix, err := storage.NewHashIndex(name, t.Heap, ords)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	t.Hash = append(t.Hash, ix)
+	c.mu.Unlock()
+	return ix, nil
+}
+
+// AnalyzeTable (re)builds column statistics for every column of the table —
+// the RUNSTATS step that optimization relies on.
+func (c *Catalog) AnalyzeTable(tableName string) error {
+	t, err := c.Table(tableName)
+	if err != nil {
+		return err
+	}
+	colStat := make([]*stats.ColumnStats, t.Schema.Len())
+	for ord := 0; ord < t.Schema.Len(); ord++ {
+		colStat[ord] = stats.BuildColumnStats(allColumnValues(t, ord), stats.DefaultBucketCount)
+	}
+	c.mu.Lock()
+	t.ColStat = colStat
+	c.mu.Unlock()
+	return nil
+}
+
+// AnalyzeAll runs AnalyzeTable over every table.
+func (c *Catalog) AnalyzeAll() error {
+	for _, name := range c.TableNames() {
+		if err := c.AnalyzeTable(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterView registers a temporary materialized view. A view with the same
+// signature is replaced (the newer snapshot has more complete cardinality).
+func (c *Catalog) RegisterView(v *MatView) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.views[v.Signature] = v
+}
+
+// View returns the temp MV with the given signature, or nil.
+func (c *Catalog) View(signature string) *MatView {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.views[signature]
+}
+
+// Views returns all registered temp MVs (unspecified order).
+func (c *Catalog) Views() []*MatView {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*MatView, 0, len(c.views))
+	for _, v := range c.views {
+		out = append(out, v)
+	}
+	return out
+}
+
+// DropViews removes every temporary materialized view — the cleanup step at
+// the end of a POP statement (paper Figure 1, "Clean up").
+func (c *Catalog) DropViews() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.views = make(map[string]*MatView)
+}
+
+// DropViewsPrefixed removes the temp MVs whose signature carries the given
+// prefix — one statement's cleanup, leaving concurrent statements' views
+// intact.
+func (c *Catalog) DropViewsPrefixed(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for sig := range c.views {
+		if strings.HasPrefix(sig, prefix) {
+			delete(c.views, sig)
+		}
+	}
+}
+
+// ViewCount returns the number of live temp MVs.
+func (c *Catalog) ViewCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.views)
+}
+
+// allColumnValues gathers every value of a column, NULLs included, for the
+// statistics builder.
+func allColumnValues(t *Table, ord int) []types.Datum {
+	out := make([]types.Datum, 0, t.Heap.RowCount())
+	it := t.Heap.Scan()
+	for {
+		row, _, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, row[ord])
+	}
+}

@@ -1,0 +1,106 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestLoadCSVInference(t *testing.T) {
+	c := New()
+	data := `id,score,when,label
+1,1.5,2020-01-02,alpha
+2,2,2020-02-03,beta
+3,,2020-03-04,
+`
+	tab, err := c.LoadCSV("m", strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.RowCount() != 3 {
+		t.Fatalf("rows = %v", tab.RowCount())
+	}
+	wantKinds := []types.Kind{types.KindInt, types.KindFloat, types.KindDate, types.KindString}
+	for i, want := range wantKinds {
+		if got := tab.Schema.Col(i).Type; got != want {
+			t.Errorf("column %d kind = %v, want %v", i, got, want)
+		}
+	}
+	// Empty fields load as NULL and mark the column nullable.
+	row, _ := tab.Heap.Get(2)
+	if !row[1].IsNull() || !row[3].IsNull() {
+		t.Errorf("empty fields should be NULL: %v", row)
+	}
+	if !tab.Schema.Col(1).Nullable || tab.Schema.Col(0).Nullable {
+		t.Error("nullability inference wrong")
+	}
+	// Statistics analyzed.
+	if tab.Stats(0) == nil || tab.Stats(0).RowCount != 3 {
+		t.Error("stats not analyzed")
+	}
+	// Values parsed correctly.
+	row0, _ := tab.Heap.Get(0)
+	if row0[0].Int() != 1 || row0[1].Float() != 1.5 || row0[3].Str() != "alpha" {
+		t.Errorf("row 0 = %v", row0)
+	}
+	if row0[2].Kind() != types.KindDate {
+		t.Errorf("date kind = %v", row0[2].Kind())
+	}
+}
+
+func TestLoadCSVIntPromotesToFloat(t *testing.T) {
+	c := New()
+	tab, err := c.LoadCSV("f", strings.NewReader("x\n1\n2.5\n3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Schema.Col(0).Type != types.KindFloat {
+		t.Errorf("mixed int/float column = %v, want DOUBLE", tab.Schema.Col(0).Type)
+	}
+}
+
+func TestLoadCSVAllEmptyColumn(t *testing.T) {
+	c := New()
+	tab, err := c.LoadCSV("e", strings.NewReader("a,b\n1,\n2,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := tab.Schema.Col(1)
+	if col.Type != types.KindString || !col.Nullable {
+		t.Errorf("all-empty column = %v nullable=%v", col.Type, col.Nullable)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty input":       "",
+		"empty column name": "a,,c\n1,2,3\n",
+		"ragged row":        "a,b\n1\n",
+	}
+	for name, data := range cases {
+		c := New()
+		if _, err := c.LoadCSV("t", strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Duplicate table name.
+	c := New()
+	if _, err := c.LoadCSV("dup", strings.NewReader("a\n1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadCSV("dup", strings.NewReader("a\n1\n")); err == nil {
+		t.Error("duplicate table should error")
+	}
+}
+
+func TestLoadCSVHeaderOnly(t *testing.T) {
+	c := New()
+	tab, err := c.LoadCSV("h", strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.RowCount() != 0 {
+		t.Error("header-only CSV should create an empty table")
+	}
+}

@@ -1,0 +1,195 @@
+package dmv
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// NumQueries is the size of the DMV workload, matching the paper's case
+// study ("We use 39 real-world queries obtained from the DMV").
+const NumQueries = 39
+
+func eq(l, r expr.Expr) expr.Expr { return &expr.Cmp{Op: expr.EQ, L: l, R: r} }
+func ge(l, r expr.Expr) expr.Expr { return &expr.Cmp{Op: expr.GE, L: l, R: r} }
+func le(l, r expr.Expr) expr.Expr { return &expr.Cmp{Op: expr.LE, L: l, R: r} }
+func str(s string) expr.Expr      { return &expr.Const{Val: types.NewString(s)} }
+func intc(i int64) expr.Expr      { return &expr.Const{Val: types.NewInt(i)} }
+
+// satellite chains that can be attached to the CAR hub. Each chain adds the
+// listed tables and join predicates.
+type chain struct {
+	name string
+	add  func(b *logical.Builder)
+}
+
+func chains() []chain {
+	return []chain{
+		{name: "registration+office+county", add: func(b *logical.Builder) {
+			b.AddTable("registration", "rg")
+			b.AddTable("office", "of")
+			b.AddTable("county", "cy")
+			b.Where(eq(b.Col("rg", "r_car"), b.Col("c", "c_id")))
+			b.Where(eq(b.Col("rg", "r_office"), b.Col("of", "of_id")))
+			b.Where(eq(b.Col("of", "of_county"), b.Col("cy", "cy_id")))
+		}},
+		{name: "inspection+station", add: func(b *logical.Builder) {
+			b.AddTable("inspection", "ins")
+			b.AddTable("station", "st")
+			b.Where(eq(b.Col("ins", "i_car"), b.Col("c", "c_id")))
+			b.Where(eq(b.Col("ins", "i_station"), b.Col("st", "st_id")))
+		}},
+		{name: "violation", add: func(b *logical.Builder) {
+			b.AddTable("violation", "v")
+			b.Where(eq(b.Col("v", "v_car"), b.Col("c", "c_id")))
+		}},
+		{name: "insurance+company", add: func(b *logical.Builder) {
+			b.AddTable("insurance", "pol")
+			b.AddTable("company", "co")
+			b.Where(eq(b.Col("pol", "ins_car"), b.Col("c", "c_id")))
+			b.Where(eq(b.Col("pol", "ins_company"), b.Col("co", "co_id")))
+		}},
+		{name: "accident", add: func(b *logical.Builder) {
+			b.AddTable("accident", "a")
+			b.Where(eq(b.Col("a", "a_car"), b.Col("c", "c_id")))
+		}},
+	}
+}
+
+// correlated predicate combos on the CAR/OWNER hub. Each returns a short
+// description for diagnostics. These are the §6 pitfalls: restrictions over
+// correlated columns whose combined selectivity the independence assumption
+// under-estimates by orders of magnitude.
+func predCombos() []func(b *logical.Builder, r *rng) string {
+	return []func(b *logical.Builder, r *rng) string{
+		// MAKE + MODEL: model implies make, so the make predicate is
+		// redundant but halves the estimate by another 1/20.
+		func(b *logical.Builder, r *rng) string {
+			md := r.intn(numModels)
+			b.Where(eq(b.Col("c", "c_make"), str(MakeName(md/modelsPerMk))))
+			b.Where(eq(b.Col("c", "c_model"), str(ModelName(md))))
+			return "make+model"
+		},
+		// MAKE + MODEL + COLOR: triple correlation.
+		func(b *logical.Builder, r *rng) string {
+			md := r.intn(numModels)
+			b.Where(eq(b.Col("c", "c_make"), str(MakeName(md/modelsPerMk))))
+			b.Where(eq(b.Col("c", "c_model"), str(ModelName(md))))
+			b.Where(eq(b.Col("c", "c_color"), str(ColorName(ColorForModel(md, r.intn(3))))))
+			return "make+model+color"
+		},
+		// MODEL + WEIGHT range: weight is nearly determined by model.
+		func(b *logical.Builder, r *rng) string {
+			md := r.intn(numModels)
+			b.Where(eq(b.Col("c", "c_model"), str(ModelName(md))))
+			b.Where(ge(b.Col("c", "c_weight"), intc(int64(WeightForModel(md, 0)))))
+			b.Where(le(b.Col("c", "c_weight"), intc(int64(WeightForModel(md, 24)))))
+			return "model+weight"
+		},
+		// AGE + MAKE: owners of a make cluster in a narrow age band.
+		func(b *logical.Builder, r *rng) string {
+			mk := r.intn(numMakes)
+			lo := int64(18 + mk*2)
+			b.Where(eq(b.Col("c", "c_make"), str(MakeName(mk))))
+			b.Where(ge(b.Col("o", "o_age"), intc(lo)))
+			b.Where(le(b.Col("o", "o_age"), intc(lo+11)))
+			return "age+make"
+		},
+		// ZIP + MAKE: each zip concentrates on 5 makes; the IN-list is a
+		// further §6 hazard.
+		func(b *logical.Builder, r *rng) string {
+			mk := r.intn(numMakes)
+			zips := make([]expr.Expr, 3)
+			for i := range zips {
+				zips[i] = intc(int64((mk*5 + i) % numZips))
+			}
+			b.Where(eq(b.Col("c", "c_make"), str(MakeName(mk))))
+			b.Where(&expr.InList{Input: b.Col("c", "c_zip"), List: zips})
+			return "zip+make"
+		},
+		// Owner/car ZIP agreement: redundant once joined through c_owner.
+		func(b *logical.Builder, r *rng) string {
+			zip := int64(r.intn(numZips))
+			b.Where(eq(b.Col("c", "c_zip"), intc(zip)))
+			b.Where(eq(b.Col("o", "o_zip"), intc(zip)))
+			return "zip agreement"
+		},
+		// LIKE on model prefix + make (prefix implies the make too).
+		func(b *logical.Builder, r *rng) string {
+			mk := r.intn(numMakes)
+			b.Where(eq(b.Col("c", "c_make"), str(MakeName(mk))))
+			b.Where(expr.NewLike(b.Col("c", "c_model"), MakeName(mk)+"-%", false))
+			return "make+model-like"
+		},
+	}
+}
+
+// QueryInfo bundles a generated workload query with its description.
+type QueryInfo struct {
+	Name  string
+	Desc  string
+	Query *logical.Query
+}
+
+// Queries deterministically generates the 39-query DMV workload. Every
+// query joins the CAR↔OWNER hub with one or more satellite chains and
+// applies a correlated predicate combo.
+func Queries(cat *catalog.Catalog) ([]QueryInfo, error) {
+	r := newRNG(99)
+	cs := chains()
+	combos := predCombos()
+	out := make([]QueryInfo, 0, NumQueries)
+	for i := 0; i < NumQueries; i++ {
+		b := logical.NewBuilder(cat)
+		b.AddTable("car", "c")
+		b.AddTable("owner", "o")
+		b.Where(eq(b.Col("c", "c_owner"), b.Col("o", "o_id")))
+
+		// Attach 1-4 satellite chains, rotating deterministically.
+		nChains := 1 + (i % 4)
+		used := map[int]bool{}
+		names := ""
+		for k := 0; k < nChains; k++ {
+			ci := (i + k*2 + r.intn(2)) % len(cs)
+			if used[ci] {
+				ci = (ci + 1) % len(cs)
+			}
+			if used[ci] {
+				continue
+			}
+			used[ci] = true
+			cs[ci].add(b)
+			if names != "" {
+				names += ","
+			}
+			names += cs[ci].name
+		}
+
+		desc := combos[i%len(combos)](b, r)
+
+		// Alternate aggregate and SPJ shapes.
+		if i%2 == 0 {
+			b.SelectCol("c", "c_make")
+			b.SelectAgg(logical.AggCount, nil, "n")
+			b.SelectAgg(logical.AggAvg, b.Col("o", "o_income"), "avg_income")
+			b.GroupBy(b.Col("c", "c_make"))
+		} else {
+			b.SelectCol("c", "c_id")
+			b.SelectCol("c", "c_model")
+			b.SelectCol("o", "o_name")
+		}
+		q, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("dmv: query %d (%s; %s): %w", i, desc, names, err)
+		}
+		out = append(out, QueryInfo{
+			Name:  fmt.Sprintf("DMV%02d", i+1),
+			Desc:  fmt.Sprintf("%s over %s", desc, names),
+			Query: q,
+		})
+	}
+	return out, nil
+}

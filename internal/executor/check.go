@@ -1,0 +1,261 @@
+package executor
+
+import (
+	"hash/fnv"
+
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+)
+
+// checkNode implements the CHECK operator of paper Figure 10 for check range
+// [low, high]:
+//
+//	NEXT: count++; if count > high → re-optimize;
+//	      if EOF and count < low → re-optimize.
+//
+// When its child is a materialization (SORT/TEMP/GRPBY), the check is
+// evaluated once against the materialized count right after Open — the
+// optimization the paper describes for checks above materialization points.
+type checkNode struct {
+	base
+	ex    *Executor
+	count float64
+}
+
+func (e *Executor) buildCheck(p *optimizer.Plan) (Node, error) {
+	child, err := e.Build(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	return &checkNode{base: base{plan: p, children: []Node{child}}, ex: e}, nil
+}
+
+func (n *checkNode) violation(actual float64, exact bool) error {
+	return &CheckViolation{
+		Check:  n.plan.Check,
+		Node:   n.plan,
+		Actual: actual,
+		Exact:  exact,
+	}
+}
+
+func (n *checkNode) touch() {
+	if !n.stats.Touched {
+		n.stats.Touched = true
+		n.stats.FirstWork = n.ex.Meter.Work
+	}
+	n.stats.DoneWork = n.ex.Meter.Work
+}
+
+func (n *checkNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	n.count = 0
+	child := n.children[0]
+	if err := child.Open(); err != nil {
+		return err
+	}
+	// Lazy checks above materialization points validate once, against the
+	// completed materialization's exact cardinality.
+	if m, ok := child.(Materializer); ok {
+		if rows, done := m.Materialized(); done {
+			card := float64(len(rows))
+			n.ex.Meter.Add(n.ex.Cost.CheckRow)
+			n.touch()
+			if !n.plan.Check.Range.Contains(card) {
+				return n.violation(card, true)
+			}
+			n.count = -1 // sentinel: already validated, skip per-row checks
+		}
+	}
+	return nil
+}
+
+func (n *checkNode) Next() (schema.Row, bool, error) {
+	child := n.children[0]
+	row, ok, err := child.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if n.count < 0 { // validated at Open
+		if ok {
+			n.stats.RowsOut++
+		} else {
+			n.stats.Done = true
+		}
+		return row, ok, nil
+	}
+	r := n.plan.Check.Range
+	n.ex.Meter.Add(n.ex.Cost.CheckRow)
+	n.touch()
+	if !ok {
+		n.stats.Done = true
+		if n.count < r.Lo {
+			return nil, false, n.violation(n.count, true)
+		}
+		return nil, false, nil
+	}
+	n.count++
+	if n.count > r.Hi {
+		// Eager detection: the actual cardinality is at least count — a
+		// lower bound that already proves the range violated.
+		return nil, false, n.violation(n.count, false)
+	}
+	n.stats.RowsOut++
+	return row, true, nil
+}
+
+func (n *checkNode) Close() error { return n.closeChildren() }
+
+// Rewind restarts the output stream when the child supports it; the
+// per-row check is not repeated (the cardinality was already validated).
+func (n *checkNode) Rewind() error {
+	rw, ok := n.children[0].(Rewinder)
+	if !ok {
+		return errNotRewindable(n.children[0])
+	}
+	if err := rw.Rewind(); err != nil {
+		return err
+	}
+	if n.count >= 0 {
+		n.count = -1 // first pass validated the count
+	}
+	n.stats.Done = false
+	return nil
+}
+
+func errNotRewindable(n Node) error {
+	return &notRewindableError{op: n.Plan().Op}
+}
+
+type notRewindableError struct{ op optimizer.OpKind }
+
+func (e *notRewindableError) Error() string {
+	return "executor: " + e.op.String() + " does not support rewind"
+}
+
+// RowDigest hashes a full row to a stable 64-bit identity. ECDC's deferred
+// compensation uses it as the surrogate rid for derived rows (the paper
+// constructs rids for rows derived from base tables).
+func RowDigest(row schema.Row) uint64 {
+	h := fnv.New64a()
+	for _, d := range row {
+		d.HashInto(h)
+	}
+	return h.Sum64()
+}
+
+// ReturnedSet is the ECDC side table S: a multiset of the digests of rows
+// already returned to the application during a prior partial execution.
+type ReturnedSet struct {
+	counts map[uint64]int
+	total  int
+}
+
+// NewReturnedSet returns an empty side table.
+func NewReturnedSet() *ReturnedSet {
+	return &ReturnedSet{counts: make(map[uint64]int)}
+}
+
+// Add records one returned row.
+func (s *ReturnedSet) Add(row schema.Row) {
+	s.counts[RowDigest(row)]++
+	s.total++
+}
+
+// Len returns the number of recorded rows.
+func (s *ReturnedSet) Len() int { return s.total }
+
+// Merge folds another set's contents into this one. The POP runner records
+// each attempt's emissions separately and merges them afterwards — rows
+// returned within an attempt must not be compensated against that same
+// attempt's later output.
+func (s *ReturnedSet) Merge(o *ReturnedSet) {
+	for d, c := range o.counts {
+		s.counts[d] += c
+		s.total += c
+	}
+}
+
+// Remove consumes one occurrence of the row if present, reporting whether it
+// was. The anti-join uses multiset semantics so duplicate result rows are
+// compensated exactly once each.
+func (s *ReturnedSet) Remove(row schema.Row) bool {
+	d := RowDigest(row)
+	if s.counts[d] > 0 {
+		s.counts[d]--
+		s.total--
+		return true
+	}
+	return false
+}
+
+// insertRidNode is ECDC's INSERT operator: it records every row flowing to
+// the application in the side table, transparently passing rows through.
+type insertRidNode struct {
+	base
+	ex   *Executor
+	side *ReturnedSet
+}
+
+// NewInsertRid wraps a node so every emitted row is recorded in side.
+func NewInsertRid(ex *Executor, child Node, side *ReturnedSet) Node {
+	p := child.Plan()
+	return &insertRidNode{base: base{plan: p, children: []Node{child}}, ex: ex, side: side}
+}
+
+func (n *insertRidNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	return n.children[0].Open()
+}
+
+func (n *insertRidNode) Next() (schema.Row, bool, error) {
+	row, ok, err := n.children[0].Next()
+	if err != nil || !ok {
+		n.stats.Done = err == nil && !ok
+		return nil, false, err
+	}
+	n.ex.Meter.Add(n.ex.Cost.TempWrite)
+	n.side.Add(row)
+	n.stats.RowsOut++
+	return row, true, nil
+}
+
+func (n *insertRidNode) Close() error { return n.closeChildren() }
+
+// antiJoinNode compensates a re-optimized pipelined plan: rows found in the
+// side table were already returned in the initial run and are suppressed
+// (set-difference via NOT EXISTS on the rid side table, paper Figure 9).
+type antiJoinNode struct {
+	base
+	ex   *Executor
+	side *ReturnedSet
+}
+
+// NewAntiJoin wraps a node, suppressing rows present in side.
+func NewAntiJoin(ex *Executor, child Node, side *ReturnedSet) Node {
+	p := child.Plan()
+	return &antiJoinNode{base: base{plan: p, children: []Node{child}}, ex: ex, side: side}
+}
+
+func (n *antiJoinNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	return n.children[0].Open()
+}
+
+func (n *antiJoinNode) Next() (schema.Row, bool, error) {
+	for {
+		row, ok, err := n.children[0].Next()
+		if err != nil || !ok {
+			n.stats.Done = err == nil && !ok
+			return nil, false, err
+		}
+		n.ex.Meter.Add(n.ex.Cost.HashProbeRow)
+		if n.side.Remove(row) {
+			continue // already returned during the initial run
+		}
+		n.stats.RowsOut++
+		return row, true, nil
+	}
+}
+
+func (n *antiJoinNode) Close() error { return n.closeChildren() }

@@ -1,0 +1,389 @@
+package executor
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// pairFixture builds two tables with controllable contents for join corner
+// cases. Values may include NULL keys and duplicates.
+func pairFixture(t *testing.T, left, right []types.Datum) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	lt, err := c.CreateTable("lt", schema.New(
+		schema.Column{Name: "lk", Type: types.KindInt, Nullable: true},
+		schema.Column{Name: "lv", Type: types.KindInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range left {
+		lt.Heap.MustInsert(schema.Row{k, types.NewInt(int64(i))})
+	}
+	rt, err := c.CreateTable("rt", schema.New(
+		schema.Column{Name: "rk", Type: types.KindInt, Nullable: true},
+		schema.Column{Name: "rv", Type: types.KindInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range right {
+		rt.Heap.MustInsert(schema.Row{k, types.NewInt(int64(100 + i))})
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// joinPair runs SELECT l.lk, r.rk FROM lt l, rt r WHERE l.lk = r.rk under
+// the given optimizer config and returns the row count.
+func joinPair(t *testing.T, cat *catalog.Catalog, cfg func(*optimizer.Optimizer)) int {
+	t.Helper()
+	b := logical.NewBuilder(cat)
+	b.AddTable("lt", "l")
+	b.AddTable("rt", "r")
+	b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("l", "lk"), R: b.Col("r", "rk")})
+	b.SelectCol("l", "lk")
+	b.SelectCol("r", "rv")
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat)
+	cfg(opt)
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(cat, q, nil, opt.Model.Params, &Meter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := ex.Build(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Run(root)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, optimizer.Explain(plan, q))
+	}
+	return len(rows)
+}
+
+func ints(vs ...int64) []types.Datum {
+	out := make([]types.Datum, len(vs))
+	for i, v := range vs {
+		out[i] = types.NewInt(v)
+	}
+	return out
+}
+
+var joinConfigs = map[string]func(*optimizer.Optimizer){
+	"hash":  func(o *optimizer.Optimizer) { o.DisableNLJN = true; o.DisableMGJN = true },
+	"merge": func(o *optimizer.Optimizer) { o.DisableNLJN = true; o.DisableHSJN = true },
+	"naive": func(o *optimizer.Optimizer) { o.DisableHSJN = true; o.DisableMGJN = true; o.DisableIndexJoin = true },
+}
+
+func TestJoinCornerCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		left, right []types.Datum
+		want        int
+	}{
+		{"bothEmpty", nil, nil, 0},
+		{"leftEmpty", nil, ints(1, 2, 3), 0},
+		{"rightEmpty", ints(1, 2, 3), nil, 0},
+		{"noOverlap", ints(1, 2, 3), ints(4, 5, 6), 0},
+		{"oneMatch", ints(1, 2, 3), ints(3, 4, 5), 1},
+		{"dupLeft", ints(7, 7, 7, 8), ints(7, 9), 3},
+		{"dupRight", ints(7, 8), ints(7, 7, 7, 9), 3},
+		{"dupBoth", ints(5, 5, 6), ints(5, 5, 5, 6), 7}, // 2*3 + 1*1
+		{"allSame", ints(1, 1, 1), ints(1, 1), 6},
+		{"nullsNeverMatch", []types.Datum{types.Null, types.NewInt(1), types.Null},
+			[]types.Datum{types.Null, types.NewInt(1)}, 1},
+		{"allNulls", []types.Datum{types.Null, types.Null}, []types.Datum{types.Null}, 0},
+		{"firstAndLast", ints(0, 50, 99), ints(0, 99), 2},
+	}
+	for _, c := range cases {
+		for method, cfg := range joinConfigs {
+			t.Run(c.name+"/"+method, func(t *testing.T) {
+				cat := pairFixture(t, c.left, c.right)
+				if got := joinPair(t, cat, cfg); got != c.want {
+					t.Errorf("%s/%s: got %d rows, want %d", c.name, method, got, c.want)
+				}
+			})
+		}
+	}
+}
+
+func TestHashJoinSpillCharges(t *testing.T) {
+	// A build side far bigger than the memory budget must charge spill work.
+	left := make([]types.Datum, 200)
+	right := make([]types.Datum, 5000)
+	for i := range left {
+		left[i] = types.NewInt(int64(i))
+	}
+	for i := range right {
+		right[i] = types.NewInt(int64(i % 200))
+	}
+	cat := pairFixture(t, left, right)
+	b := logical.NewBuilder(cat)
+	b.AddTable("rt", "r") // big side
+	b.AddTable("lt", "l")
+	b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("r", "rk"), R: b.Col("l", "lk")})
+	b.SelectCol("r", "rv")
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mem float64) float64 {
+		opt := optimizer.New(cat)
+		opt.DisableNLJN = true
+		opt.DisableMGJN = true
+		opt.Model.Params.MemoryBytes = mem
+		plan, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meter := &Meter{}
+		ex, _ := NewExecutor(cat, q, nil, opt.Model.Params, meter)
+		root, err := ex.Build(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(root); err != nil {
+			t.Fatal(err)
+		}
+		return meter.Work
+	}
+	roomy := run(1 << 30)
+	tight := run(1 << 10)
+	if tight <= roomy {
+		t.Errorf("spilling run (%v) must cost more than in-memory (%v)", tight, roomy)
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	// Rows with equal keys must keep their input order (SliceStable).
+	c := catalog.New()
+	tab, err := c.CreateTable("s", schema.New(
+		schema.Column{Name: "k", Type: types.KindInt},
+		schema.Column{Name: "seq", Type: types.KindInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tab.Heap.MustInsert(schema.Row{types.NewInt(int64(i % 3)), types.NewInt(int64(i))})
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	b := logical.NewBuilder(c)
+	b.AddTable("s", "s")
+	b.SelectCol("s", "k")
+	b.SelectCol("s", "seq")
+	b.OrderBy(b.Col("s", "k"), false)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(c)
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := NewExecutor(c, q, nil, opt.Model.Params, &Meter{})
+	root, _ := ex.Build(plan)
+	rows, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevKey, prevSeq := int64(-1), int64(-1)
+	for _, r := range rows {
+		k, seq := r[0].Int(), r[1].Int()
+		if k == prevKey && seq < prevSeq {
+			t.Fatalf("sort not stable: seq %d after %d within key %d", seq, prevSeq, k)
+		}
+		if k < prevKey {
+			t.Fatalf("not sorted: key %d after %d", k, prevKey)
+		}
+		prevKey, prevSeq = k, seq
+	}
+}
+
+func TestAggregationEdges(t *testing.T) {
+	c := catalog.New()
+	tab, err := c.CreateTable("e", schema.New(
+		schema.Column{Name: "g", Type: types.KindInt},
+		schema.Column{Name: "v", Type: types.KindInt, Nullable: true},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 1 has only NULL values; group 2 mixes.
+	tab.Heap.MustInsert(schema.Row{types.NewInt(1), types.Null})
+	tab.Heap.MustInsert(schema.Row{types.NewInt(1), types.Null})
+	tab.Heap.MustInsert(schema.Row{types.NewInt(2), types.NewInt(10)})
+	tab.Heap.MustInsert(schema.Row{types.NewInt(2), types.Null})
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	b := logical.NewBuilder(c)
+	b.AddTable("e", "e")
+	b.SelectCol("e", "g")
+	b.SelectAgg(logical.AggCount, nil, "n")              // COUNT(*) counts rows
+	b.SelectAgg(logical.AggCount, b.Col("e", "v"), "nv") // COUNT(v) skips NULLs
+	b.SelectAgg(logical.AggSum, b.Col("e", "v"), "sv")
+	b.SelectAgg(logical.AggMin, b.Col("e", "v"), "minv")
+	b.SelectAgg(logical.AggAvg, b.Col("e", "v"), "avgv")
+	b.GroupBy(b.Col("e", "g"))
+	b.OrderBy(b.Col("e", "g"), false)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(c)
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := NewExecutor(c, q, nil, opt.Model.Params, &Meter{})
+	root, _ := ex.Build(plan)
+	rows, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	g1 := rows[0]
+	if g1[1].Int() != 2 || g1[2].Int() != 0 {
+		t.Errorf("group 1: COUNT(*)=%v COUNT(v)=%v, want 2/0", g1[1], g1[2])
+	}
+	if !g1[3].IsNull() || !g1[4].IsNull() || !g1[5].IsNull() {
+		t.Errorf("group 1: SUM/MIN/AVG over all NULLs must be NULL: %v", g1)
+	}
+	g2 := rows[1]
+	if g2[1].Int() != 2 || g2[2].Int() != 1 || g2[3].Float() != 10 {
+		t.Errorf("group 2: %v", g2)
+	}
+}
+
+func TestEmptyAggregationYieldsOneRow(t *testing.T) {
+	c := catalog.New()
+	if _, err := c.CreateTable("empty", schema.New(
+		schema.Column{Name: "x", Type: types.KindInt},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	b := logical.NewBuilder(c)
+	b.AddTable("empty", "e")
+	b.SelectAgg(logical.AggCount, nil, "n")
+	b.SelectAgg(logical.AggSum, b.Col("e", "x"), "s")
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(c)
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := NewExecutor(c, q, nil, opt.Model.Params, &Meter{})
+	root, _ := ex.Build(plan)
+	rows, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("ungrouped aggregate over empty input must yield 1 row, got %d", len(rows))
+	}
+	if rows[0][0].Int() != 0 || !rows[0][1].IsNull() {
+		t.Errorf("COUNT(*)=0 and SUM=NULL expected, got %v", rows[0])
+	}
+}
+
+// TestHashLookupAccessPath verifies the optimizer picks a hash-index point
+// lookup for an equality predicate and that execution matches a plain scan.
+func TestHashLookupAccessPath(t *testing.T) {
+	c := catalog.New()
+	tab, err := c.CreateTable("h", schema.New(
+		schema.Column{Name: "k", Type: types.KindString},
+		schema.Column{Name: "v", Type: types.KindInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		tab.Heap.MustInsert(schema.Row{
+			types.NewString([]string{"red", "blue", "green", "gold"}[i%4]),
+			types.NewInt(int64(i)),
+		})
+	}
+	if _, err := c.CreateHashIndex("h_k", "h", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	b := logical.NewBuilder(c)
+	b.AddTable("h", "h")
+	b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("h", "k"), R: &expr.Const{Val: types.NewString("blue")}})
+	b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("h", "v"), R: &expr.Const{Val: types.NewInt(100)}})
+	b.SelectCol("h", "v")
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(c)
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Count(optimizer.OpHashLookup) != 1 {
+		t.Fatalf("equality on a hash-indexed column should use HXSCAN:\n%s", optimizer.Explain(plan, q))
+	}
+	ex, _ := NewExecutor(c, q, nil, opt.Model.Params, &Meter{})
+	root, err := ex.Build(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// blue = i%4==1 and v<100 → v in {1,5,...,97} = 25 rows.
+	if len(rows) != 25 {
+		t.Errorf("got %d rows, want 25", len(rows))
+	}
+	// Missing key: zero rows, no error.
+	b2 := logical.NewBuilder(c)
+	b2.AddTable("h", "h")
+	b2.Where(&expr.Cmp{Op: expr.EQ, L: b2.Col("h", "k"), R: &expr.Const{Val: types.NewString("mauve")}})
+	b2.SelectCol("h", "v")
+	q2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := optimizer.New(c).Optimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, _ := NewExecutor(c, q2, nil, opt.Model.Params, &Meter{})
+	root2, _ := ex2.Build(p2)
+	rows2, err := Run(root2)
+	if err != nil || len(rows2) != 0 {
+		t.Errorf("absent key: rows=%d err=%v", len(rows2), err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package executor interprets physical plans with Volcano-style
+// open/next/close iterators. Every operator charges simulated work units
+// using the same weights as the optimizer's cost model, so a plan's measured
+// work equals its modeled cost evaluated at the *actual* cardinalities —
+// which makes the paper's figures deterministic and machine-independent.
+//
+// CHECK operators follow Figure 10 of the paper: they count the rows flowing
+// from producer to consumer and raise a *CheckViolation when the count
+// leaves the check range. The POP controller (package pop) catches the
+// violation, harvests actual cardinalities and completed materializations,
+// and re-invokes the optimizer.
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// Meter accumulates simulated work units across a (possibly re-optimized)
+// statement execution.
+type Meter struct {
+	Work float64
+}
+
+// Add charges work units.
+func (m *Meter) Add(w float64) {
+	if m != nil {
+		m.Work += w
+	}
+}
+
+// NodeStats exposes an operator's runtime counters.
+type NodeStats struct {
+	RowsOut float64 // rows produced so far
+	Done    bool    // reached end of stream
+	Opened  bool
+
+	// FirstWork and DoneWork record the meter reading when the node first
+	// acted and when it finished (CHECK nodes maintain them; the harness uses
+	// them to plot checkpoint opportunities as fractions of execution,
+	// paper Figure 14).
+	FirstWork float64
+	DoneWork  float64
+	Touched   bool // FirstWork recorded
+}
+
+// Node is an executable plan operator.
+type Node interface {
+	Open() error
+	Next() (schema.Row, bool, error)
+	Close() error
+	Plan() *optimizer.Plan
+	Stats() *NodeStats
+	Children() []Node
+}
+
+// Rewinder is implemented by nodes that can restart their output stream
+// without re-opening (base accesses and materializations); the naive
+// nested-loop join requires its inner to implement it.
+type Rewinder interface {
+	Rewind() error
+}
+
+// Materializer is implemented by nodes that buffer their entire input
+// (SORT, TEMP). After materialization completes, the buffered rows can be
+// promoted to a temporary materialized view for reuse (paper §2.3).
+type Materializer interface {
+	Materialized() ([]schema.Row, bool)
+}
+
+// CheckViolation is the error raised when a CHECK range is violated; it
+// carries everything the re-optimization controller needs.
+type CheckViolation struct {
+	Check  *optimizer.CheckMeta
+	Node   *optimizer.Plan // the CHECK plan node
+	Actual float64         // observed cardinality when the check fired
+	Exact  bool            // true if Actual is the complete edge cardinality
+}
+
+// Error implements the error interface.
+func (v *CheckViolation) Error() string {
+	kind := "lower bound"
+	if v.Exact {
+		kind = "exact"
+	}
+	return fmt.Sprintf("executor: CHECK #%d (%s) violated: actual cardinality %.0f (%s) outside range [%.1f, %.1f] (estimate %.1f)",
+		v.Check.ID, v.Check.Flavor, v.Actual, kind, v.Check.Range.Lo, v.Check.Range.Hi, v.Check.EstCard)
+}
+
+// Executor builds executable trees for one query.
+type Executor struct {
+	Cat    *catalog.Catalog
+	Q      *logical.Query
+	Cost   optimizer.CostParams
+	Meter  *Meter
+	Params []types.Datum
+
+	tabs []*catalog.Table
+	ectx *expr.Context
+}
+
+// NewExecutor resolves the query's tables and prepares an executor.
+func NewExecutor(cat *catalog.Catalog, q *logical.Query, params []types.Datum, cost optimizer.CostParams, meter *Meter) (*Executor, error) {
+	tabs := make([]*catalog.Table, len(q.Tables))
+	for i, tr := range q.Tables {
+		t, err := cat.Table(tr.Table)
+		if err != nil {
+			return nil, err
+		}
+		tabs[i] = t
+	}
+	if meter == nil {
+		meter = &Meter{}
+	}
+	return &Executor{
+		Cat:    cat,
+		Q:      q,
+		Cost:   cost,
+		Meter:  meter,
+		Params: params,
+		tabs:   tabs,
+		ectx:   &expr.Context{Params: params},
+	}, nil
+}
+
+// remap rewrites an expression's query-global column ids into positions in
+// the given output column layout.
+func (e *Executor) remap(ex expr.Expr, cols []int) (expr.Expr, error) {
+	var missing error
+	out := expr.Remap(ex, func(g int) int {
+		for i, c := range cols {
+			if c == g {
+				return i
+			}
+		}
+		if missing == nil {
+			missing = fmt.Errorf("executor: column id %d not present in layout %v", g, cols)
+		}
+		return -1
+	})
+	return out, missing
+}
+
+// colPos returns the position of global id g in cols or an error.
+func colPos(cols []int, g int) (int, error) {
+	for i, c := range cols {
+		if c == g {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("executor: column id %d not present in layout %v", g, cols)
+}
+
+// Build constructs the executable tree for a plan.
+func (e *Executor) Build(p *optimizer.Plan) (Node, error) {
+	switch p.Op {
+	case optimizer.OpTableScan:
+		return e.buildTableScan(p)
+	case optimizer.OpIndexScan:
+		return e.buildIndexScan(p)
+	case optimizer.OpHashLookup:
+		return e.buildHashLookup(p)
+	case optimizer.OpMVScan:
+		return e.buildMVScan(p)
+	case optimizer.OpNLJN:
+		return e.buildNLJN(p)
+	case optimizer.OpHSJN:
+		return e.buildHSJN(p)
+	case optimizer.OpMGJN:
+		return e.buildMGJN(p)
+	case optimizer.OpSort:
+		return e.buildSort(p)
+	case optimizer.OpTemp:
+		return e.buildTemp(p)
+	case optimizer.OpHashAgg:
+		return e.buildHashAgg(p)
+	case optimizer.OpProject:
+		return e.buildProject(p)
+	case optimizer.OpCheck:
+		return e.buildCheck(p)
+	default:
+		return nil, fmt.Errorf("executor: unsupported operator %s", p.Op)
+	}
+}
+
+// Run drains a node to completion, honoring the plan's LIMIT.
+func Run(n Node) ([]schema.Row, error) {
+	if err := n.Open(); err != nil {
+		n.Close()
+		return nil, err
+	}
+	defer n.Close()
+	limit := n.Plan().Limit
+	var out []schema.Row
+	for {
+		row, ok, err := n.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+		if limit > 0 && len(out) >= limit {
+			return out, nil
+		}
+	}
+}
+
+// Walk visits every node of an executable tree in pre-order.
+func Walk(n Node, fn func(Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}
+
+// base provides the shared bookkeeping for operators.
+type base struct {
+	plan     *optimizer.Plan
+	stats    NodeStats
+	children []Node
+}
+
+func (b *base) Plan() *optimizer.Plan { return b.plan }
+func (b *base) Stats() *NodeStats     { return &b.stats }
+func (b *base) Children() []Node      { return b.children }
+
+func (b *base) closeChildren() error {
+	var first error
+	for _, c := range b.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// evalFilter applies a (pre-remapped) filter with three-valued semantics.
+func evalFilter(f expr.Expr, ctx *expr.Context, row schema.Row) (bool, error) {
+	if f == nil {
+		return true, nil
+	}
+	v, err := f.Eval(ctx, row)
+	if err != nil {
+		return false, err
+	}
+	return expr.Accept(v), nil
+}

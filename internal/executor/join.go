@@ -1,0 +1,576 @@
+package executor
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// nljnNode implements both naive and index nested-loop joins. The naive
+// variant rewinds its inner child once per outer row; the index variant
+// probes a B+tree on the inner table with a key taken from the outer row.
+type nljnNode struct {
+	base
+	ex     *Executor
+	outer  Node
+	inner  Node // naive variant only
+	filter expr.Expr
+
+	// Index variant.
+	probe     *probeState
+	outerKey  int // position of the lookup key in the outer row
+	innerPlan *optimizer.Plan
+
+	curOuter schema.Row
+	haveOut  bool
+	// queued inner matches for the index variant
+	queue []schema.Row
+}
+
+// probeState tracks the index-probe machinery of an index NLJN and doubles
+// as the Node for the inner edge so tree walks see both children.
+type probeState struct {
+	base
+	ix     *storage.BTreeIndex
+	filter expr.Expr // inner residual filter in table layout
+	npred  float64
+}
+
+func (p *probeState) Open() error                     { p.stats.Opened = true; return nil }
+func (p *probeState) Next() (schema.Row, bool, error) { return nil, false, nil }
+func (p *probeState) Close() error                    { return nil }
+
+func (e *Executor) buildNLJN(p *optimizer.Plan) (Node, error) {
+	outer, err := e.Build(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	filter, err := e.remap(p.Filter, p.Cols)
+	if err != nil {
+		return nil, err
+	}
+	n := &nljnNode{base: base{plan: p}, ex: e, outer: outer, filter: filter}
+	if p.IndexJoin {
+		innerPlan := p.Children[1]
+		t := e.tabs[innerPlan.Table]
+		ix := t.BTreeOn(innerPlan.IndexOrd)
+		if ix == nil {
+			return nil, fmt.Errorf("executor: index NLJN without B+tree on %s ordinal %d", t.Name, innerPlan.IndexOrd)
+		}
+		innerFilter, err := e.remap(innerPlan.Filter, innerPlan.Cols)
+		if err != nil {
+			return nil, err
+		}
+		keyPos, err := colPos(p.Children[0].Cols, p.LookupCol)
+		if err != nil {
+			return nil, err
+		}
+		n.outerKey = keyPos
+		n.innerPlan = innerPlan
+		n.probe = &probeState{
+			base:   base{plan: innerPlan},
+			ix:     ix,
+			filter: innerFilter,
+			npred:  float64(len(expr.Conjuncts(innerPlan.Filter))),
+		}
+		n.children = []Node{outer, n.probe}
+		return n, nil
+	}
+	inner, err := e.Build(p.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := inner.(Rewinder); !ok {
+		return nil, fmt.Errorf("executor: naive NLJN inner %s is not rewindable", inner.Plan().Op)
+	}
+	n.inner = inner
+	n.children = []Node{outer, inner}
+	return n, nil
+}
+
+func (n *nljnNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	n.haveOut = false
+	n.queue = nil
+	if err := n.outer.Open(); err != nil {
+		return err
+	}
+	if n.inner != nil {
+		return n.inner.Open()
+	}
+	return n.probe.Open()
+}
+
+func (n *nljnNode) Next() (schema.Row, bool, error) {
+	if n.probe != nil {
+		return n.nextIndex()
+	}
+	return n.nextNaive()
+}
+
+func (n *nljnNode) nextNaive() (schema.Row, bool, error) {
+	pr := &n.ex.Cost
+	for {
+		if !n.haveOut {
+			row, ok, err := n.outer.Next()
+			if err != nil || !ok {
+				n.stats.Done = ok == false && err == nil
+				return nil, false, err
+			}
+			n.curOuter = row
+			n.haveOut = true
+			if err := n.inner.(Rewinder).Rewind(); err != nil {
+				return nil, false, err
+			}
+		}
+		irow, ok, err := n.inner.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			n.haveOut = false
+			continue
+		}
+		n.ex.Meter.Add(pr.PredEval)
+		joined := n.curOuter.Concat(irow)
+		keep, err := evalFilter(n.filter, n.ex.ectx, joined)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			n.ex.Meter.Add(pr.OutputRow)
+			n.stats.RowsOut++
+			return joined, true, nil
+		}
+	}
+}
+
+func (n *nljnNode) nextIndex() (schema.Row, bool, error) {
+	pr := &n.ex.Cost
+	for {
+		if len(n.queue) > 0 {
+			joined := n.queue[0]
+			n.queue = n.queue[1:]
+			keep, err := evalFilter(n.filter, n.ex.ectx, joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if keep {
+				n.ex.Meter.Add(pr.OutputRow)
+				n.stats.RowsOut++
+				return joined, true, nil
+			}
+			continue
+		}
+		orow, ok, err := n.outer.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			n.stats.Done = true
+			return nil, false, nil
+		}
+		key := orow[n.outerKey]
+		n.ex.Meter.Add(float64(n.probe.ix.Height()) * pr.IndexLevel)
+		for _, rid := range n.probe.ix.Lookup(key) {
+			irow, err := n.probe.ix.Table().Get(rid)
+			if err != nil {
+				return nil, false, err
+			}
+			n.ex.Meter.Add(pr.FetchRow + n.probe.npred*pr.PredEval)
+			keep, err := evalFilter(n.probe.filter, n.ex.ectx, irow)
+			if err != nil {
+				return nil, false, err
+			}
+			if keep {
+				n.probe.stats.RowsOut++
+				n.queue = append(n.queue, orow.Concat(irow))
+			}
+		}
+	}
+}
+
+func (n *nljnNode) Close() error { return n.closeChildren() }
+
+// hsjnNode is a hash join: it fully materializes and hashes the build child
+// (children[1]) on Open, then streams the probe child. Builds larger than
+// the memory budget simulate grace-hash staging by charging spill work for
+// every build and probe row per extra stage — the cost cliff the validity
+// analysis must cope with.
+type hsjnNode struct {
+	base
+	ex        *Executor
+	probe     Node
+	build     Node
+	probeKeys []int // positions in probe rows
+	buildKeys []int // positions in build rows
+	filter    expr.Expr
+
+	table      map[uint64][]schema.Row
+	spillExtra float64 // extra work charged per probe row
+	curMatches []schema.Row
+	curProbe   schema.Row
+
+	// buildRows retains the complete build input (including NULL-keyed rows
+	// the hash table drops) so the build can be promoted to a temp MV — the
+	// reuse enhancement the paper's §4 plans for its prototype.
+	buildRows []schema.Row
+	buildDone bool
+}
+
+// BuildMaterializer is implemented by joins that fully materialize one
+// input; the POP runner can promote that input to a temporary materialized
+// view when Options.ReuseHashBuilds is set.
+type BuildMaterializer interface {
+	// BuildMaterialized returns the materialized input rows, the child index
+	// they came from, and whether the materialization completed.
+	BuildMaterialized() (rows []schema.Row, childIndex int, done bool)
+}
+
+// BuildMaterialized exposes the completed hash-join build.
+func (n *hsjnNode) BuildMaterialized() ([]schema.Row, int, bool) {
+	return n.buildRows, 1, n.buildDone
+}
+
+func (e *Executor) buildHSJN(p *optimizer.Plan) (Node, error) {
+	probe, err := e.Build(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	build, err := e.Build(p.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	filter, err := e.remap(p.Filter, p.Cols)
+	if err != nil {
+		return nil, err
+	}
+	n := &hsjnNode{
+		base:   base{plan: p, children: []Node{probe, build}},
+		ex:     e,
+		probe:  probe,
+		build:  build,
+		filter: filter,
+	}
+	for i := range p.EquiLeft {
+		pk, err := colPos(p.Children[0].Cols, p.EquiLeft[i])
+		if err != nil {
+			return nil, err
+		}
+		bk, err := colPos(p.Children[1].Cols, p.EquiRight[i])
+		if err != nil {
+			return nil, err
+		}
+		n.probeKeys = append(n.probeKeys, pk)
+		n.buildKeys = append(n.buildKeys, bk)
+	}
+	return n, nil
+}
+
+func hashKeyAt(row schema.Row, keys []int) (uint64, bool) {
+	h := fnv.New64a()
+	for _, k := range keys {
+		if row[k].IsNull() {
+			return 0, false
+		}
+		row[k].HashInto(h)
+	}
+	return h.Sum64(), true
+}
+
+func keysEqual(a schema.Row, aKeys []int, b schema.Row, bKeys []int) bool {
+	for i := range aKeys {
+		c, err := a[aKeys[i]].Compare(b[bKeys[i]])
+		if err != nil || c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *hsjnNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	n.table = make(map[uint64][]schema.Row)
+	n.curMatches = nil
+	n.buildRows = n.buildRows[:0]
+	n.buildDone = false
+	pr := &n.ex.Cost
+	if err := n.build.Open(); err != nil {
+		return err
+	}
+	buildRows := 0.0
+	for {
+		row, ok, err := n.build.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		buildRows++
+		n.ex.Meter.Add(pr.HashBuildRow)
+		n.buildRows = append(n.buildRows, row)
+		if h, ok := hashKeyAt(row, n.buildKeys); ok {
+			n.table[h] = append(n.table[h], row)
+		}
+	}
+	n.buildDone = true
+	// Grace-hash staging charge.
+	width := float64(len(n.plan.Children[1].Cols)) * 12
+	stages := 1.0
+	if pr.MemoryBytes > 0 {
+		for buildRows*width > stages*pr.MemoryBytes {
+			stages++
+		}
+	}
+	if stages > 1 {
+		n.ex.Meter.Add((stages - 1) * buildRows * pr.SpillRow)
+		n.spillExtra = (stages - 1) * pr.SpillRow
+	}
+	return n.probe.Open()
+}
+
+func (n *hsjnNode) Next() (schema.Row, bool, error) {
+	pr := &n.ex.Cost
+	for {
+		for len(n.curMatches) > 0 {
+			m := n.curMatches[0]
+			n.curMatches = n.curMatches[1:]
+			joined := n.curProbe.Concat(m)
+			keep, err := evalFilter(n.filter, n.ex.ectx, joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if keep {
+				n.ex.Meter.Add(pr.OutputRow)
+				n.stats.RowsOut++
+				return joined, true, nil
+			}
+		}
+		row, ok, err := n.probe.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			n.stats.Done = true
+			return nil, false, nil
+		}
+		n.ex.Meter.Add(pr.HashProbeRow + n.spillExtra)
+		h, hasKey := hashKeyAt(row, n.probeKeys)
+		if !hasKey {
+			continue
+		}
+		n.curProbe = row
+		for _, b := range n.table[h] {
+			if keysEqual(row, n.probeKeys, b, n.buildKeys) {
+				n.curMatches = append(n.curMatches, b)
+			}
+		}
+	}
+}
+
+func (n *hsjnNode) Close() error { return n.closeChildren() }
+
+// mgjnNode merges two inputs sorted ascending on their single join keys,
+// buffering duplicate groups on the right.
+type mgjnNode struct {
+	base
+	ex       *Executor
+	left     Node
+	right    Node
+	leftKey  int
+	rightKey int
+	filter   expr.Expr
+
+	lrow    schema.Row
+	lok     bool
+	group   []schema.Row // current right-side duplicate group
+	gpos    int
+	gkey    schema.Row // representative right row of the group
+	rahead  schema.Row // lookahead right row
+	rvalid  bool
+	started bool
+}
+
+func (e *Executor) buildMGJN(p *optimizer.Plan) (Node, error) {
+	left, err := e.Build(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.Build(p.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	filter, err := e.remap(p.Filter, p.Cols)
+	if err != nil {
+		return nil, err
+	}
+	lk, err := colPos(p.Children[0].Cols, p.EquiLeft[0])
+	if err != nil {
+		return nil, err
+	}
+	rk, err := colPos(p.Children[1].Cols, p.EquiRight[0])
+	if err != nil {
+		return nil, err
+	}
+	return &mgjnNode{
+		base:     base{plan: p, children: []Node{left, right}},
+		ex:       e,
+		left:     left,
+		right:    right,
+		leftKey:  lk,
+		rightKey: rk,
+		filter:   filter,
+	}, nil
+}
+
+func (n *mgjnNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	n.started = false
+	n.group = nil
+	if err := n.left.Open(); err != nil {
+		return err
+	}
+	return n.right.Open()
+}
+
+func (n *mgjnNode) advanceLeft() error {
+	row, ok, err := n.left.Next()
+	if err != nil {
+		return err
+	}
+	n.lrow, n.lok = row, ok
+	if ok {
+		n.ex.Meter.Add(n.ex.Cost.MergeRow)
+	}
+	return nil
+}
+
+func (n *mgjnNode) advanceRight() error {
+	row, ok, err := n.right.Next()
+	if err != nil {
+		return err
+	}
+	n.rahead, n.rvalid = row, ok
+	if ok {
+		n.ex.Meter.Add(n.ex.Cost.MergeRow)
+	}
+	return nil
+}
+
+// loadGroup collects the run of right rows equal to the current lookahead.
+func (n *mgjnNode) loadGroup() error {
+	n.group = n.group[:0]
+	n.gkey = n.rahead
+	key := n.rahead[n.rightKey]
+	for n.rvalid {
+		c, err := n.rahead[n.rightKey].Compare(key)
+		if err != nil || c != 0 {
+			break
+		}
+		n.group = append(n.group, n.rahead)
+		if err := n.advanceRight(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *mgjnNode) Next() (schema.Row, bool, error) {
+	pr := &n.ex.Cost
+	if !n.started {
+		n.started = true
+		if err := n.advanceLeft(); err != nil {
+			return nil, false, err
+		}
+		if err := n.advanceRight(); err != nil {
+			return nil, false, err
+		}
+		n.gpos = 0
+	}
+	for {
+		// Emit pending pairs from the current group.
+		for n.lok && len(n.group) > 0 && n.gpos < len(n.group) {
+			c, err := n.lrow[n.leftKey].Compare(n.gkey[n.rightKey])
+			if err != nil || c != 0 {
+				break
+			}
+			joined := n.lrow.Concat(n.group[n.gpos])
+			n.gpos++
+			keep, ferr := evalFilter(n.filter, n.ex.ectx, joined)
+			if ferr != nil {
+				return nil, false, ferr
+			}
+			if keep {
+				n.ex.Meter.Add(pr.OutputRow)
+				n.stats.RowsOut++
+				return joined, true, nil
+			}
+		}
+		if n.lok && len(n.group) > 0 && n.gpos >= len(n.group) {
+			// Exhausted group for this left row; next left row may match the
+			// same group (duplicates on the left).
+			if err := n.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			if n.lok {
+				if c, err := n.lrow[n.leftKey].Compare(n.gkey[n.rightKey]); err == nil && c == 0 {
+					n.gpos = 0
+					continue
+				}
+			}
+			n.group = n.group[:0]
+			continue
+		}
+		if !n.lok || (!n.rvalid && len(n.group) == 0) {
+			n.stats.Done = true
+			return nil, false, nil
+		}
+		// No active group: align the sides. NULL keys never match.
+		if n.lrow[n.leftKey].IsNull() {
+			if err := n.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		if n.rahead[n.rightKey].IsNull() {
+			if err := n.advanceRight(); err != nil {
+				return nil, false, err
+			}
+			if !n.rvalid && len(n.group) == 0 {
+				n.stats.Done = true
+				return nil, false, nil
+			}
+			continue
+		}
+		c, err := n.lrow[n.leftKey].Compare(n.rahead[n.rightKey])
+		if err != nil {
+			return nil, false, err
+		}
+		switch {
+		case c < 0:
+			if err := n.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+		case c > 0:
+			if err := n.advanceRight(); err != nil {
+				return nil, false, err
+			}
+			if !n.rvalid {
+				n.stats.Done = true
+				return nil, false, nil
+			}
+		default:
+			if err := n.loadGroup(); err != nil {
+				return nil, false, err
+			}
+			n.gpos = 0
+		}
+	}
+}
+
+func (n *mgjnNode) Close() error { return n.closeChildren() }

@@ -1,0 +1,288 @@
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// tableScanNode scans a heap and applies the residual filter.
+type tableScanNode struct {
+	base
+	ex     *Executor
+	heap   *storage.Table
+	filter expr.Expr
+	npreds float64
+	it     *storage.TableIterator
+}
+
+func (e *Executor) buildTableScan(p *optimizer.Plan) (Node, error) {
+	if p.Table < 0 || p.Table >= len(e.tabs) {
+		return nil, fmt.Errorf("executor: table index %d out of range", p.Table)
+	}
+	f, err := e.remap(p.Filter, p.Cols)
+	if err != nil {
+		return nil, err
+	}
+	return &tableScanNode{
+		base:   base{plan: p},
+		ex:     e,
+		heap:   e.tabs[p.Table].Heap,
+		filter: f,
+		npreds: float64(len(expr.Conjuncts(p.Filter))),
+	}, nil
+}
+
+func (n *tableScanNode) Open() error {
+	n.it = n.heap.Scan()
+	n.stats = NodeStats{Opened: true}
+	return nil
+}
+
+func (n *tableScanNode) Rewind() error {
+	n.it.Reset()
+	n.stats.Done = false
+	return nil
+}
+
+func (n *tableScanNode) Next() (schema.Row, bool, error) {
+	pr := &n.ex.Cost
+	for {
+		row, _, ok := n.it.Next()
+		if !ok {
+			n.stats.Done = true
+			return nil, false, nil
+		}
+		n.ex.Meter.Add(pr.ScanRow + n.npreds*pr.PredEval)
+		keep, err := evalFilter(n.filter, n.ex.ectx, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			n.stats.RowsOut++
+			return row, true, nil
+		}
+	}
+}
+
+func (n *tableScanNode) Close() error { return nil }
+
+// indexScanNode performs a sargable B+tree range scan: it collects the
+// qualifying rids in key order, fetches the rows and applies the residual
+// filter. Bounds are constant expressions fixed at plan time.
+type indexScanNode struct {
+	base
+	ex     *Executor
+	ix     *storage.BTreeIndex
+	filter expr.Expr
+	npreds float64
+	rids   []schema.RID
+	pos    int
+}
+
+func (e *Executor) buildIndexScan(p *optimizer.Plan) (Node, error) {
+	t := e.tabs[p.Table]
+	ix := t.BTreeOn(p.IndexOrd)
+	if ix == nil {
+		return nil, fmt.Errorf("executor: no B+tree on %s ordinal %d", t.Name, p.IndexOrd)
+	}
+	f, err := e.remap(p.Filter, p.Cols)
+	if err != nil {
+		return nil, err
+	}
+	return &indexScanNode{
+		base:   base{plan: p},
+		ex:     e,
+		ix:     ix,
+		filter: f,
+		npreds: float64(len(expr.Conjuncts(p.Filter))),
+	}, nil
+}
+
+func (n *indexScanNode) bound(e expr.Expr, inc bool) (storage.Bound, error) {
+	if e == nil {
+		return storage.Bound{}, nil
+	}
+	v, err := e.Eval(n.ex.ectx, nil)
+	if err != nil {
+		return storage.Bound{}, err
+	}
+	return storage.Bound{Value: &v, Inclusive: inc}, nil
+}
+
+func (n *indexScanNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	n.rids = n.rids[:0]
+	n.pos = 0
+	p := n.plan
+	lo, err := n.bound(p.IndexLo, p.IndexLoInc)
+	if err != nil {
+		return err
+	}
+	hi, err := n.bound(p.IndexHi, p.IndexHiInc)
+	if err != nil {
+		return err
+	}
+	pr := &n.ex.Cost
+	n.ex.Meter.Add(float64(n.ix.Height()) * pr.IndexLevel)
+	n.ix.AscendRange(lo, hi, func(_ types.Datum, rid schema.RID) bool {
+		n.rids = append(n.rids, rid)
+		return true
+	})
+	return nil
+}
+
+func (n *indexScanNode) Rewind() error {
+	n.pos = 0
+	n.stats.Done = false
+	return nil
+}
+
+func (n *indexScanNode) Next() (schema.Row, bool, error) {
+	pr := &n.ex.Cost
+	for n.pos < len(n.rids) {
+		rid := n.rids[n.pos]
+		n.pos++
+		row, err := n.ix.Table().Get(rid)
+		if err != nil {
+			return nil, false, err
+		}
+		n.ex.Meter.Add(pr.FetchRow + n.npreds*pr.PredEval)
+		keep, err := evalFilter(n.filter, n.ex.ectx, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			n.stats.RowsOut++
+			return row, true, nil
+		}
+	}
+	n.stats.Done = true
+	return nil, false, nil
+}
+
+func (n *indexScanNode) Close() error { return nil }
+
+// mvScanNode streams a temporary materialized view.
+type mvScanNode struct {
+	base
+	ex  *Executor
+	pos int
+}
+
+func (e *Executor) buildMVScan(p *optimizer.Plan) (Node, error) {
+	if p.MV == nil {
+		return nil, fmt.Errorf("executor: MVSCAN without a view")
+	}
+	return &mvScanNode{base: base{plan: p}, ex: e}, nil
+}
+
+func (n *mvScanNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	n.pos = 0
+	return nil
+}
+
+func (n *mvScanNode) Rewind() error {
+	n.pos = 0
+	n.stats.Done = false
+	return nil
+}
+
+func (n *mvScanNode) Next() (schema.Row, bool, error) {
+	rows := n.plan.MV.Rows
+	if n.pos >= len(rows) {
+		n.stats.Done = true
+		return nil, false, nil
+	}
+	row := rows[n.pos]
+	n.pos++
+	n.ex.Meter.Add(n.ex.Cost.TempRead)
+	n.stats.RowsOut++
+	return row, true, nil
+}
+
+func (n *mvScanNode) Close() error { return nil }
+
+// hashLookupNode serves an equality predicate from a hash index: one O(1)
+// probe, then fetch and residual-filter the qualifying rows.
+type hashLookupNode struct {
+	base
+	ex     *Executor
+	ix     *storage.HashIndex
+	filter expr.Expr
+	npreds float64
+	rids   []schema.RID
+	pos    int
+}
+
+func (e *Executor) buildHashLookup(p *optimizer.Plan) (Node, error) {
+	t := e.tabs[p.Table]
+	ix := t.HashOn(p.IndexOrd)
+	if ix == nil {
+		return nil, fmt.Errorf("executor: no hash index on %s ordinal %d", t.Name, p.IndexOrd)
+	}
+	f, err := e.remap(p.Filter, p.Cols)
+	if err != nil {
+		return nil, err
+	}
+	return &hashLookupNode{
+		base:   base{plan: p},
+		ex:     e,
+		ix:     ix,
+		filter: f,
+		npreds: float64(len(expr.Conjuncts(p.Filter))),
+	}, nil
+}
+
+func (n *hashLookupNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	n.rids = n.rids[:0]
+	n.pos = 0
+	key, err := n.plan.IndexLo.Eval(n.ex.ectx, nil)
+	if err != nil {
+		return err
+	}
+	n.ex.Meter.Add(n.ex.Cost.HashProbeRow)
+	rids, _, err := n.ix.Lookup([]types.Datum{key})
+	if err != nil {
+		return err
+	}
+	n.rids = rids
+	return nil
+}
+
+func (n *hashLookupNode) Rewind() error {
+	n.pos = 0
+	n.stats.Done = false
+	return nil
+}
+
+func (n *hashLookupNode) Next() (schema.Row, bool, error) {
+	pr := &n.ex.Cost
+	for n.pos < len(n.rids) {
+		rid := n.rids[n.pos]
+		n.pos++
+		row, err := n.ix.Table().Get(rid)
+		if err != nil {
+			return nil, false, err
+		}
+		n.ex.Meter.Add(pr.FetchRow + n.npreds*pr.PredEval)
+		keep, err := evalFilter(n.filter, n.ex.ectx, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			n.stats.RowsOut++
+			return row, true, nil
+		}
+	}
+	n.stats.Done = true
+	return nil, false, nil
+}
+
+func (n *hashLookupNode) Close() error { return nil }

@@ -1,0 +1,464 @@
+package executor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// sortNode fully materializes and sorts its input on Open — a
+// materialization point in the paper's sense, and therefore a lazy-check
+// anchor and a reusable intermediate result.
+type sortNode struct {
+	base
+	ex   *Executor
+	keys []int // key positions in the row
+	desc []bool
+	rows []schema.Row
+	pos  int
+	done bool // materialization completed
+}
+
+func (e *Executor) buildSort(p *optimizer.Plan) (Node, error) {
+	child, err := e.Build(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	n := &sortNode{base: base{plan: p, children: []Node{child}}, ex: e}
+	for _, k := range p.SortKeys {
+		pos, err := colPos(p.Children[0].Cols, k.Col)
+		if err != nil {
+			return nil, err
+		}
+		n.keys = append(n.keys, pos)
+		n.desc = append(n.desc, k.Desc)
+	}
+	return n, nil
+}
+
+// compareRows orders rows on the given key positions; NULLs sort first.
+func compareRows(a, b schema.Row, keys []int, desc []bool) int {
+	for i, k := range keys {
+		av, bv := a[k], b[k]
+		var c int
+		switch {
+		case av.IsNull() && bv.IsNull():
+			c = 0
+		case av.IsNull():
+			c = -1
+		case bv.IsNull():
+			c = 1
+		default:
+			var err error
+			c, err = av.Compare(bv)
+			if err != nil {
+				c = 0
+			}
+		}
+		if desc != nil && desc[i] {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func (n *sortNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	n.rows = n.rows[:0]
+	n.pos = 0
+	n.done = false
+	child := n.children[0]
+	if err := child.Open(); err != nil {
+		return err
+	}
+	pr := &n.ex.Cost
+	for {
+		row, ok, err := child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n.ex.Meter.Add(pr.TempWrite)
+		n.rows = append(n.rows, row)
+	}
+	cn := float64(len(n.rows))
+	n.ex.Meter.Add(cn * math.Log2(cn+2) * pr.SortCmpRow)
+	sort.SliceStable(n.rows, func(i, j int) bool {
+		return compareRows(n.rows[i], n.rows[j], n.keys, n.desc) < 0
+	})
+	n.done = true
+	return nil
+}
+
+func (n *sortNode) Rewind() error {
+	n.pos = 0
+	n.stats.Done = false
+	return nil
+}
+
+func (n *sortNode) Next() (schema.Row, bool, error) {
+	if n.pos >= len(n.rows) {
+		n.stats.Done = true
+		return nil, false, nil
+	}
+	row := n.rows[n.pos]
+	n.pos++
+	n.stats.RowsOut++
+	return row, true, nil
+}
+
+func (n *sortNode) Close() error { return n.closeChildren() }
+
+// Materialized exposes the sorted buffer once materialization completed.
+func (n *sortNode) Materialized() ([]schema.Row, bool) { return n.rows, n.done }
+
+// tempNode materializes its input into a buffer on Open and streams it out —
+// the TEMP operator, the other lazy-check anchor, and the buffer that
+// implements BUFCHECK when placed over a CHECK (paper §5: "we implement
+// BUFCHECK by placing a TEMP over a CHECK").
+type tempNode struct {
+	base
+	ex   *Executor
+	rows []schema.Row
+	pos  int
+	done bool
+}
+
+func (e *Executor) buildTemp(p *optimizer.Plan) (Node, error) {
+	child, err := e.Build(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	return &tempNode{base: base{plan: p, children: []Node{child}}, ex: e}, nil
+}
+
+func (n *tempNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	n.rows = n.rows[:0]
+	n.pos = 0
+	n.done = false
+	child := n.children[0]
+	if err := child.Open(); err != nil {
+		return err
+	}
+	pr := &n.ex.Cost
+	for {
+		row, ok, err := child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n.ex.Meter.Add(pr.TempWrite)
+		n.rows = append(n.rows, row)
+	}
+	n.done = true
+	return nil
+}
+
+func (n *tempNode) Rewind() error {
+	n.pos = 0
+	n.stats.Done = false
+	return nil
+}
+
+func (n *tempNode) Next() (schema.Row, bool, error) {
+	if n.pos >= len(n.rows) {
+		n.stats.Done = true
+		return nil, false, nil
+	}
+	row := n.rows[n.pos]
+	n.pos++
+	n.ex.Meter.Add(n.ex.Cost.TempRead)
+	n.stats.RowsOut++
+	return row, true, nil
+}
+
+func (n *tempNode) Close() error { return n.closeChildren() }
+
+// Materialized exposes the buffer once materialization completed.
+func (n *tempNode) Materialized() ([]schema.Row, bool) { return n.rows, n.done }
+
+// aggState accumulates one aggregate function.
+type aggState struct {
+	kind  logical.AggKind
+	count float64
+	sum   float64
+	min   types.Datum
+	max   types.Datum
+	first types.Datum // representative value for plain items
+	seen  bool
+}
+
+func (a *aggState) add(v types.Datum) {
+	if !a.seen {
+		a.first = v
+		a.seen = true
+	}
+	if a.kind == logical.AggCount {
+		if !v.IsNull() {
+			a.count++
+		}
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	switch a.kind {
+	case logical.AggSum, logical.AggAvg:
+		a.count++
+		a.sum += v.Float()
+	case logical.AggMin:
+		if a.min.IsNull() || v.MustCompare(a.min) < 0 {
+			a.min = v
+		}
+	case logical.AggMax:
+		if a.max.IsNull() || v.MustCompare(a.max) > 0 {
+			a.max = v
+		}
+	}
+}
+
+func (a *aggState) result() types.Datum {
+	switch a.kind {
+	case logical.AggCount:
+		return types.NewInt(int64(a.count))
+	case logical.AggSum:
+		if a.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat(a.sum)
+	case logical.AggAvg:
+		if a.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat(a.sum / a.count)
+	case logical.AggMin:
+		return a.min
+	case logical.AggMax:
+		return a.max
+	default:
+		return a.first
+	}
+}
+
+// hashAggNode groups its input by the GroupBy keys and evaluates the select
+// items per group: aggregates accumulate, plain items take the group's first
+// row's value (they must be grouping columns for deterministic results).
+type hashAggNode struct {
+	base
+	ex       *Executor
+	keys     []int // positions of grouping columns in the child row
+	items    []logical.SelectItem
+	itemExpr []expr.Expr // remapped to child layout; nil for COUNT(*)
+	groups   []schema.Row
+	pos      int
+}
+
+func (e *Executor) buildHashAgg(p *optimizer.Plan) (Node, error) {
+	child, err := e.Build(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	n := &hashAggNode{base: base{plan: p, children: []Node{child}}, ex: e, items: p.Items}
+	for _, g := range p.GroupBy {
+		pos, err := colPos(p.Children[0].Cols, g)
+		if err != nil {
+			return nil, err
+		}
+		n.keys = append(n.keys, pos)
+	}
+	for _, it := range p.Items {
+		if it.E == nil {
+			if it.Agg != logical.AggCount {
+				return nil, fmt.Errorf("executor: aggregate %s requires an argument", it.Agg)
+			}
+			n.itemExpr = append(n.itemExpr, nil)
+			continue
+		}
+		re, err := e.remap(it.E, p.Children[0].Cols)
+		if err != nil {
+			return nil, err
+		}
+		n.itemExpr = append(n.itemExpr, re)
+	}
+	return n, nil
+}
+
+func (n *hashAggNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	n.groups = n.groups[:0]
+	n.pos = 0
+	child := n.children[0]
+	if err := child.Open(); err != nil {
+		return err
+	}
+	pr := &n.ex.Cost
+	type group struct {
+		key    schema.Row
+		states []*aggState
+	}
+	table := make(map[uint64][]*group)
+	var order []*group
+	for {
+		row, ok, err := child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n.ex.Meter.Add(pr.HashBuildRow)
+		h := fnv.New64a()
+		for _, k := range n.keys {
+			row[k].HashInto(h)
+		}
+		hv := h.Sum64()
+		var g *group
+		for _, cand := range table[hv] {
+			match := true
+			for i, k := range n.keys {
+				if !cand.key[i].Equal(row[k]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			key := make(schema.Row, len(n.keys))
+			for i, k := range n.keys {
+				key[i] = row[k]
+			}
+			g = &group{key: key, states: make([]*aggState, len(n.items))}
+			for i, it := range n.items {
+				g.states[i] = &aggState{kind: it.Agg}
+			}
+			table[hv] = append(table[hv], g)
+			order = append(order, g)
+		}
+		for i, st := range g.states {
+			var v types.Datum
+			if n.itemExpr[i] == nil {
+				v = types.NewInt(1) // COUNT(*)
+			} else {
+				var err error
+				v, err = n.itemExpr[i].Eval(n.ex.ectx, row)
+				if err != nil {
+					return err
+				}
+			}
+			st.add(v)
+		}
+	}
+	// Degenerate aggregation without GROUP BY over empty input still yields
+	// one group (COUNT(*) = 0).
+	if len(order) == 0 && len(n.keys) == 0 {
+		g := &group{states: make([]*aggState, len(n.items))}
+		for i, it := range n.items {
+			g.states[i] = &aggState{kind: it.Agg}
+		}
+		order = append(order, g)
+	}
+	for _, g := range order {
+		n.ex.Meter.Add(pr.OutputRow)
+		out := make(schema.Row, len(n.items))
+		for i, st := range g.states {
+			out[i] = st.result()
+		}
+		n.groups = append(n.groups, out)
+	}
+	return nil
+}
+
+func (n *hashAggNode) Rewind() error {
+	n.pos = 0
+	n.stats.Done = false
+	return nil
+}
+
+func (n *hashAggNode) Next() (schema.Row, bool, error) {
+	if n.pos >= len(n.groups) {
+		n.stats.Done = true
+		return nil, false, nil
+	}
+	row := n.groups[n.pos]
+	n.pos++
+	n.stats.RowsOut++
+	return row, true, nil
+}
+
+func (n *hashAggNode) Close() error { return n.closeChildren() }
+
+// Materialized exposes the group buffer; aggregation is a materialization.
+func (n *hashAggNode) Materialized() ([]schema.Row, bool) {
+	return n.groups, n.stats.Opened
+}
+
+// projectNode evaluates the select items per input row.
+type projectNode struct {
+	base
+	ex    *Executor
+	exprs []expr.Expr
+}
+
+func (e *Executor) buildProject(p *optimizer.Plan) (Node, error) {
+	child, err := e.Build(p.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	n := &projectNode{base: base{plan: p, children: []Node{child}}, ex: e}
+	for _, it := range p.Items {
+		if it.E == nil {
+			return nil, fmt.Errorf("executor: projection item without expression")
+		}
+		re, err := e.remap(it.E, p.Children[0].Cols)
+		if err != nil {
+			return nil, err
+		}
+		n.exprs = append(n.exprs, re)
+	}
+	return n, nil
+}
+
+func (n *projectNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	return n.children[0].Open()
+}
+
+func (n *projectNode) Next() (schema.Row, bool, error) {
+	row, ok, err := n.children[0].Next()
+	if err != nil || !ok {
+		n.stats.Done = err == nil && !ok
+		return nil, false, err
+	}
+	n.ex.Meter.Add(n.ex.Cost.OutputRow)
+	out := make(schema.Row, len(n.exprs))
+	for i, ex := range n.exprs {
+		v, err := ex.Eval(n.ex.ectx, row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	n.stats.RowsOut++
+	return out, true, nil
+}
+
+func (n *projectNode) Close() error { return n.closeChildren() }

@@ -1,0 +1,314 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+func mustEval(t *testing.T, e Expr, row schema.Row) types.Datum {
+	t.Helper()
+	v, err := e.Eval(nil, row)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return v
+}
+
+func col(pos int) *ColRef          { return &ColRef{Pos: pos} }
+func lit(d types.Datum) *Const     { return &Const{Val: d} }
+func intLit(v int64) *Const        { return lit(types.NewInt(v)) }
+func strLit(s string) *Const       { return lit(types.NewString(s)) }
+func cmp(op CmpOp, l, r Expr) *Cmp { return &Cmp{Op: op, L: l, R: r} }
+func and(args ...Expr) *Logic      { return &Logic{Op: And, Args: args} }
+func or(args ...Expr) *Logic       { return &Logic{Op: Or, Args: args} }
+
+func TestColRef(t *testing.T) {
+	row := schema.Row{types.NewInt(10), types.NewString("x")}
+	if v := mustEval(t, col(0), row); v.Int() != 10 {
+		t.Error("col 0")
+	}
+	if _, err := col(5).Eval(nil, row); err == nil {
+		t.Error("out-of-range column should error")
+	}
+	if (&ColRef{Pos: 3}).String() != "$3" {
+		t.Error("anonymous colref rendering")
+	}
+	if (&ColRef{Pos: 3, Name: "l_qty"}).String() != "l_qty" {
+		t.Error("named colref rendering")
+	}
+}
+
+func TestParamBinding(t *testing.T) {
+	ctx := &Context{Params: []types.Datum{types.NewInt(7)}}
+	p := &Param{ID: 0}
+	v, err := p.Eval(ctx, nil)
+	if err != nil || v.Int() != 7 {
+		t.Fatalf("param eval: %v %v", v, err)
+	}
+	if _, err := (&Param{ID: 3}).Eval(ctx, nil); err == nil {
+		t.Error("unbound param should error")
+	}
+	if _, err := (&Param{ID: 0}).Eval(nil, nil); err == nil {
+		t.Error("nil context should error")
+	}
+	if p.String() != "?0" {
+		t.Error("param rendering")
+	}
+}
+
+func TestCmpOperators(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		l, r int64
+		want bool
+	}{
+		{EQ, 1, 1, true}, {EQ, 1, 2, false},
+		{NE, 1, 2, true}, {NE, 1, 1, false},
+		{LT, 1, 2, true}, {LT, 2, 2, false},
+		{LE, 2, 2, true}, {LE, 3, 2, false},
+		{GT, 3, 2, true}, {GT, 2, 2, false},
+		{GE, 2, 2, true}, {GE, 1, 2, false},
+	}
+	for _, c := range cases {
+		got := mustEval(t, cmp(c.op, intLit(c.l), intLit(c.r)), nil)
+		if got.Bool() != c.want {
+			t.Errorf("%d %s %d = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestCmpNullPropagation(t *testing.T) {
+	v := mustEval(t, cmp(EQ, lit(types.Null), intLit(1)), nil)
+	if !v.IsNull() {
+		t.Error("NULL = 1 should be NULL")
+	}
+	v = mustEval(t, cmp(LT, intLit(1), lit(types.Null)), nil)
+	if !v.IsNull() {
+		t.Error("1 < NULL should be NULL")
+	}
+}
+
+func TestCmpOpNegateFlip(t *testing.T) {
+	for _, op := range []CmpOp{EQ, NE, LT, LE, GT, GE} {
+		if op.Negate().Negate() != op {
+			t.Errorf("double negation of %s", op)
+		}
+		if op.Flip().Flip() != op {
+			t.Errorf("double flip of %s", op)
+		}
+	}
+	if LT.Flip() != GT || LE.Flip() != GE || EQ.Flip() != EQ {
+		t.Error("flip table wrong")
+	}
+	if EQ.Negate() != NE || LT.Negate() != GE {
+		t.Error("negate table wrong")
+	}
+}
+
+func TestLogicKleene(t *testing.T) {
+	T := lit(types.NewBool(true))
+	F := lit(types.NewBool(false))
+	N := lit(types.Null)
+
+	if mustEval(t, and(T, F), nil).Bool() {
+		t.Error("T AND F")
+	}
+	if !mustEval(t, and(T, T), nil).Bool() {
+		t.Error("T AND T")
+	}
+	if !mustEval(t, and(F, N), nil).IsNull() == false && mustEval(t, and(F, N), nil).Bool() {
+		t.Error("F AND NULL must be FALSE")
+	}
+	if v := mustEval(t, and(F, N), nil); v.IsNull() || v.Bool() {
+		t.Error("F AND NULL must be FALSE")
+	}
+	if v := mustEval(t, and(T, N), nil); !v.IsNull() {
+		t.Error("T AND NULL must be NULL")
+	}
+	if v := mustEval(t, or(T, N), nil); v.IsNull() || !v.Bool() {
+		t.Error("T OR NULL must be TRUE")
+	}
+	if v := mustEval(t, or(F, N), nil); !v.IsNull() {
+		t.Error("F OR NULL must be NULL")
+	}
+	// Empty AND is TRUE, empty OR is FALSE.
+	if !mustEval(t, and(), nil).Bool() {
+		t.Error("empty AND")
+	}
+	if mustEval(t, or(), nil).Bool() {
+		t.Error("empty OR")
+	}
+}
+
+func TestNot(t *testing.T) {
+	if mustEval(t, &Not{E: lit(types.NewBool(true))}, nil).Bool() {
+		t.Error("NOT TRUE")
+	}
+	if !mustEval(t, &Not{E: lit(types.NewBool(false))}, nil).Bool() {
+		t.Error("NOT FALSE")
+	}
+	if !mustEval(t, &Not{E: lit(types.Null)}, nil).IsNull() {
+		t.Error("NOT NULL must be NULL")
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	if !mustEval(t, &IsNull{E: lit(types.Null)}, nil).Bool() {
+		t.Error("NULL IS NULL")
+	}
+	if mustEval(t, &IsNull{E: intLit(1)}, nil).Bool() {
+		t.Error("1 IS NULL")
+	}
+	if !mustEval(t, &IsNull{E: intLit(1), Negate: true}, nil).Bool() {
+		t.Error("1 IS NOT NULL")
+	}
+	s := (&IsNull{E: col(0), Negate: true}).String()
+	if !strings.Contains(s, "IS NOT NULL") {
+		t.Errorf("rendering: %s", s)
+	}
+}
+
+func TestInList(t *testing.T) {
+	in := &InList{Input: col(0), List: []Expr{intLit(1), intLit(3), intLit(5)}}
+	if !mustEval(t, in, schema.Row{types.NewInt(3)}).Bool() {
+		t.Error("3 IN (1,3,5)")
+	}
+	if mustEval(t, in, schema.Row{types.NewInt(2)}).Bool() {
+		t.Error("2 IN (1,3,5)")
+	}
+	if !mustEval(t, in, schema.Row{types.Null}).IsNull() {
+		t.Error("NULL IN (...) must be NULL")
+	}
+	// Non-match with NULL member → NULL.
+	inNull := &InList{Input: col(0), List: []Expr{intLit(1), lit(types.Null)}}
+	if !mustEval(t, inNull, schema.Row{types.NewInt(9)}).IsNull() {
+		t.Error("9 IN (1, NULL) must be NULL")
+	}
+	// Match beats NULL member.
+	if !mustEval(t, inNull, schema.Row{types.NewInt(1)}).Bool() {
+		t.Error("1 IN (1, NULL) must be TRUE")
+	}
+}
+
+func TestArith(t *testing.T) {
+	if mustEval(t, &Arith{Op: Add, L: intLit(2), R: intLit(3)}, nil).Int() != 5 {
+		t.Error("2+3")
+	}
+	if mustEval(t, &Arith{Op: Sub, L: intLit(2), R: intLit(3)}, nil).Int() != -1 {
+		t.Error("2-3")
+	}
+	if mustEval(t, &Arith{Op: Mul, L: intLit(2), R: intLit(3)}, nil).Int() != 6 {
+		t.Error("2*3")
+	}
+	if mustEval(t, &Arith{Op: Div, L: intLit(6), R: intLit(3)}, nil).Float() != 2.0 {
+		t.Error("6/3 should be float 2")
+	}
+	if mustEval(t, &Arith{Op: Add, L: intLit(1), R: lit(types.NewFloat(0.5))}, nil).Float() != 1.5 {
+		t.Error("mixed arithmetic")
+	}
+	if !mustEval(t, &Arith{Op: Add, L: lit(types.Null), R: intLit(1)}, nil).IsNull() {
+		t.Error("NULL + 1 must be NULL")
+	}
+	if _, err := (&Arith{Op: Div, L: intLit(1), R: intLit(0)}).Eval(nil, nil); err == nil {
+		t.Error("division by zero should error")
+	}
+	if _, err := (&Arith{Op: Add, L: strLit("a"), R: intLit(1)}).Eval(nil, nil); err == nil {
+		t.Error("string arithmetic should error")
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		pattern, input string
+		want           bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"ab%", "abcdef", true},
+		{"ab%", "xabc", false},
+		{"%ef", "abcdef", true},
+		{"%cd%", "abcdef", true},
+		{"%cd%", "abef", false},
+		{"a_c", "abc", true},
+		{"a_c", "abbc", false},
+		{"%a_c%", "xxabcyy", true},
+		{"%", "", true},
+		{"_%", "", false},
+		{"h_llo%w_rld", "hello cruel world", true},
+	}
+	for _, c := range cases {
+		l := NewLike(col(0), c.pattern, false)
+		got := mustEval(t, l, schema.Row{types.NewString(c.input)})
+		if got.Bool() != c.want {
+			t.Errorf("%q LIKE %q = %v, want %v", c.input, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestLikeNegateAndNull(t *testing.T) {
+	l := NewLike(col(0), "ab%", true)
+	if !mustEval(t, l, schema.Row{types.NewString("xyz")}).Bool() {
+		t.Error("'xyz' NOT LIKE 'ab%'")
+	}
+	if !mustEval(t, l, schema.Row{types.Null}).IsNull() {
+		t.Error("NULL NOT LIKE p must be NULL")
+	}
+	if _, err := l.Eval(nil, schema.Row{types.NewInt(1)}); err == nil {
+		t.Error("LIKE on int should error")
+	}
+}
+
+func TestLikeLazyCompile(t *testing.T) {
+	// A Like built without NewLike (e.g. by Remap-free literal construction)
+	// must still work.
+	l := &Like{Input: col(0), Pattern: "a%"}
+	if !mustEval(t, l, schema.Row{types.NewString("abc")}).Bool() {
+		t.Error("lazy-compiled matcher failed")
+	}
+}
+
+func TestLikeSelectivityHint(t *testing.T) {
+	if LikeSelectivityHint("abc") != "exact" {
+		t.Error("exact hint")
+	}
+	if LikeSelectivityHint("ab%") != "prefix" {
+		t.Error("prefix hint")
+	}
+	if LikeSelectivityHint("%ab") != "fuzzy" {
+		t.Error("suffix hint")
+	}
+	if LikeSelectivityHint("a_c") != "fuzzy" {
+		t.Error("underscore hint")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := and(cmp(EQ, &ColRef{Pos: 0, Name: "a"}, intLit(1)), or(cmp(LT, col(1), intLit(5)), &Not{E: col(2)}))
+	s := e.String()
+	for _, want := range []string{"a = 1", "AND", "OR", "NOT"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: likeMatch with a pattern equal to the input (no wildcards)
+// always matches, and a '%'-wrapped substring always matches.
+func TestLikeProperty(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true // skip inputs containing wildcards
+		}
+		if !likeMatch(s, s) {
+			return false
+		}
+		return likeMatch("%"+s+"%", "prefix"+s+"suffix")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// Like implements the SQL LIKE predicate with % (any run) and _ (any single
+// character) wildcards. The pattern is fixed at plan time, so the matcher is
+// compiled once. LIKE predicates are one of the estimation-error sources the
+// paper calls out in the DMV study (§6).
+type Like struct {
+	Input   Expr
+	Pattern string
+	Negate  bool
+
+	matcher func(string) bool
+}
+
+// NewLike builds a LIKE predicate with a compiled matcher.
+func NewLike(input Expr, pattern string, negate bool) *Like {
+	return &Like{Input: input, Pattern: pattern, Negate: negate, matcher: compileLike(pattern)}
+}
+
+// Eval matches the input string against the pattern; NULL input yields NULL.
+func (l *Like) Eval(ctx *Context, row schema.Row) (types.Datum, error) {
+	v, err := l.Input.Eval(ctx, row)
+	if err != nil {
+		return types.Null, err
+	}
+	if v.IsNull() {
+		return types.Null, nil
+	}
+	if v.Kind() != types.KindString {
+		return types.Null, fmt.Errorf("expr: LIKE on non-string %s", v.Kind())
+	}
+	if l.matcher == nil {
+		l.matcher = compileLike(l.Pattern)
+	}
+	return types.NewBool(l.matcher(v.Str()) != l.Negate), nil
+}
+
+func (l *Like) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("%s %s '%s'", l.Input.String(), op, l.Pattern)
+}
+
+// compileLike builds a matcher for a LIKE pattern. Common shapes (no
+// wildcards, pure prefix, pure suffix, %infix%) get direct string functions;
+// the general case uses a greedy segment matcher equivalent to the classic
+// glob algorithm.
+func compileLike(pattern string) func(string) bool {
+	if !strings.ContainsAny(pattern, "%_") {
+		return func(s string) bool { return s == pattern }
+	}
+	if !strings.Contains(pattern, "_") {
+		trimmed := strings.Trim(pattern, "%")
+		if !strings.Contains(trimmed, "%") {
+			pre := strings.HasPrefix(pattern, "%")
+			suf := strings.HasSuffix(pattern, "%")
+			switch {
+			case pre && suf:
+				return func(s string) bool { return strings.Contains(s, trimmed) }
+			case suf:
+				return func(s string) bool { return strings.HasPrefix(s, trimmed) }
+			case pre:
+				return func(s string) bool { return strings.HasSuffix(s, trimmed) }
+			}
+		}
+	}
+	return func(s string) bool { return likeMatch(pattern, s) }
+}
+
+// likeMatch is an iterative wildcard matcher: '%' matches any run, '_' any
+// single byte. It backtracks only to the most recent '%', giving linear-ish
+// behaviour on realistic patterns.
+func likeMatch(pattern, s string) bool {
+	var pi, si int
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// LikeSelectivityHint classifies a pattern for the estimator: exact patterns
+// behave like equality, prefix patterns like short ranges, and infix/suffix
+// patterns are nearly unestimable (the estimator applies a coarse default —
+// exactly the kind of guess that POP exists to correct).
+func LikeSelectivityHint(pattern string) string {
+	switch {
+	case !strings.ContainsAny(pattern, "%_"):
+		return "exact"
+	case strings.HasSuffix(pattern, "%") && !strings.ContainsAny(strings.TrimSuffix(pattern, "%"), "%_"):
+		return "prefix"
+	default:
+		return "fuzzy"
+	}
+}

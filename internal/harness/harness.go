@@ -1,0 +1,463 @@
+// Package harness drives the paper's experiments — one function per table or
+// figure of the evaluation (§5, §6) — and renders their results as text.
+// All measurements are in deterministic simulated work units (see DESIGN.md):
+// identical inputs reproduce identical numbers on any machine.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/dmv"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/pop"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+// runOnce executes a query under the given POP options and returns the
+// result.
+func runOnce(cat *catalog.Catalog, q *logical.Query, opts pop.Options, params []types.Datum) (*pop.Result, error) {
+	return pop.NewRunner(cat, opts).Run(q, params)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — robustness of TPC-H Q10 under a parameter marker.
+
+// Fig11Point is one selectivity step of the Figure 11 sweep.
+type Fig11Point struct {
+	SelectivityPct float64
+	POPDefault     float64 // work: parameter marker + POP
+	NoPOPDefault   float64 // work: parameter marker, no POP
+	Optimal        float64 // work: correct literal selectivity, no POP
+	Reopts         int
+	OptimalPlan    string // signature of the optimal plan's join structure
+}
+
+// Fig11 sweeps the actual selectivity of the LINEITEM predicate of Q10 from
+// low to high, comparing POP-with-default-estimate against the static
+// default plan and the correct-estimate optimal plan (paper Figure 11).
+func Fig11(cat *catalog.Catalog, steps int) ([]Fig11Point, error) {
+	if steps <= 0 {
+		steps = 10
+	}
+	qParam, err := tpch.Q10Param(cat)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig11Point
+	for s := 1; s <= steps; s++ {
+		// Quadratic spacing concentrates points at low selectivities, where
+		// the optimal plan transitions between index NLJN and hash join.
+		frac := float64(s) / float64(steps)
+		pct := frac * frac * 100
+		qty := pct / 100 * 50 // l_quantity uniform on [1,50]
+		params := []types.Datum{types.NewFloat(qty)}
+
+		popRes, err := runOnce(cat, qParam, pop.DefaultOptions(), params)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 POP at %.0f%%: %w", pct, err)
+		}
+		noPopRes, err := runOnce(cat, qParam, pop.Options{Enabled: false}, params)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 static at %.0f%%: %w", pct, err)
+		}
+		qLit, err := tpch.Q10Literal(cat, qty)
+		if err != nil {
+			return nil, err
+		}
+		optRes, err := runOnce(cat, qLit, pop.Options{Enabled: false}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 optimal at %.0f%%: %w", pct, err)
+		}
+		out = append(out, Fig11Point{
+			SelectivityPct: pct,
+			POPDefault:     popRes.Work,
+			NoPOPDefault:   noPopRes.Work,
+			Optimal:        optRes.Work,
+			Reopts:         popRes.Reopts,
+			OptimalPlan:    planShape(optRes.Attempts[0].Plan),
+		})
+	}
+	return out, nil
+}
+
+// planShape summarizes the join-operator structure of a plan, used to count
+// how many distinct optimal plans the sweep passes through.
+func planShape(p *optimizer.Plan) string {
+	var parts []string
+	p.Walk(func(n *optimizer.Plan) {
+		if n.Op.IsJoin() {
+			s := n.Op.String()
+			if n.Op == optimizer.OpNLJN && n.IndexJoin {
+				s += "ix"
+			}
+			parts = append(parts, s)
+		}
+	})
+	return strings.Join(parts, ">")
+}
+
+// DistinctOptimalPlans counts the distinct optimal plan shapes in a sweep —
+// the paper reports Q10 passing through 5 optimal plans.
+func DistinctOptimalPlans(points []Fig11Point) int {
+	seen := map[string]bool{}
+	for _, p := range points {
+		seen[p.OptimalPlan] = true
+	}
+	return len(seen)
+}
+
+// WriteFig11 renders the sweep.
+func WriteFig11(w io.Writer, points []Fig11Point) {
+	fmt.Fprintln(w, "Figure 11 — Robustness of TPC-H Q10 with POP (work units)")
+	fmt.Fprintf(w, "%10s %14s %14s %14s %8s\n", "actual sel", "POP+default", "default(noPOP)", "optimal", "reopts")
+	for _, p := range points {
+		fmt.Fprintf(w, "%9.0f%% %14.0f %14.0f %14.0f %8d\n",
+			p.SelectivityPct, p.POPDefault, p.NoPOPDefault, p.Optimal, p.Reopts)
+	}
+	fmt.Fprintf(w, "distinct optimal plans across sweep: %d\n", DistinctOptimalPlans(points))
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — overhead of LC re-optimization (dummy reopt, hash join
+// disabled to create SORT materialization points).
+
+// Fig12Bar is one bar of Figure 12: a query executed with re-optimization
+// forced at one checkpoint.
+type Fig12Bar struct {
+	Query      string
+	CheckID    int
+	Baseline   float64 // work without any re-optimization
+	Total      float64 // work with the forced re-optimization
+	Before     float64 // component before the re-optimization
+	After      float64 // component after
+	Normalized float64 // Total / Baseline
+}
+
+// fig12Queries are the queries the paper uses for the LC overhead study.
+var fig12Queries = []string{"Q3", "Q4", "Q5", "Q7", "Q9"}
+
+// Fig12 measures the overhead of lazy-check re-optimization: each query runs
+// once normally and once per checkpoint with a forced failure there; the
+// normalized total shows the overhead (paper: ~2-3%).
+func Fig12(cat *catalog.Catalog) ([]Fig12Bar, error) {
+	queries, err := tpch.Queries(cat)
+	if err != nil {
+		return nil, err
+	}
+	// The paper disables hash join for this experiment so the optimizer
+	// generates lots of materialization points; we additionally disable the
+	// index nested-loop join, which in this engine would otherwise avoid the
+	// sorts the merge joins need.
+	noHash := func(o *optimizer.Optimizer) { o.DisableHSJN = true; o.DisableIndexJoin = true }
+	var out []Fig12Bar
+	for _, name := range fig12Queries {
+		q := queries[name]
+		basePol := pop.Policy{LC: true, RequireBoundedRange: false}
+		baseOpts := pop.Options{Enabled: true, Policy: basePol, MaxReopts: 3, Configure: noHash}
+		base, err := runOnce(cat, q, baseOpts, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %s baseline: %w", name, err)
+		}
+		if base.Reopts != 0 {
+			return nil, fmt.Errorf("fig12 %s baseline unexpectedly re-optimized", name)
+		}
+		nChecks := base.Attempts[0].Checks
+		// Trigger from up to the first two checkpoints (the paper's "a"/"b").
+		limit := nChecks
+		if limit > 2 {
+			limit = 2
+		}
+		for id := 0; id < limit; id++ {
+			pol := basePol
+			pol.FailCheckIDs = map[int]bool{id: true}
+			opts := pop.Options{Enabled: true, Policy: pol, MaxReopts: 3, Configure: noHash}
+			res, err := runOnce(cat, q, opts, nil)
+			if err != nil {
+				return nil, fmt.Errorf("fig12 %s check %d: %w", name, id, err)
+			}
+			if res.Reopts == 0 {
+				continue // checkpoint never reached in this plan
+			}
+			before := res.Attempts[1].WorkBefore
+			out = append(out, Fig12Bar{
+				Query:      name,
+				CheckID:    id,
+				Baseline:   base.Work,
+				Total:      res.Work,
+				Before:     before,
+				After:      res.Work - before,
+				Normalized: res.Work / base.Work,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteFig12 renders the bars.
+func WriteFig12(w io.Writer, bars []Fig12Bar) {
+	fmt.Fprintln(w, "Figure 12 — Normalized execution with LC re-optimization (1.0 = no reopt)")
+	fmt.Fprintf(w, "%6s %6s %12s %12s %12s %11s\n", "query", "check", "baseline", "before", "after", "normalized")
+	for _, b := range bars {
+		fmt.Fprintf(w, "%6s %6d %12.0f %12.0f %12.0f %11.3f\n",
+			b.Query, b.CheckID, b.Baseline, b.Before, b.After, b.Normalized)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13 — cost of LCEM eager materialization without re-optimization.
+
+// Fig13Row is one query's LCEM overhead measurement.
+type Fig13Row struct {
+	Query    string
+	Plain    float64 // work without POP
+	WithLCEM float64 // work with LCEM materializations added, checks inert
+	Overhead float64 // WithLCEM / Plain
+	NLJNs    int     // NLJN outers materialized
+}
+
+// Fig13 adds LCEM check/materialization points on the outer of every NLJN
+// and measures the added cost with re-optimization disabled (paper: the
+// overhead is negligible because NLJN outers are small when NLJN wins).
+func Fig13(cat *catalog.Catalog) ([]Fig13Row, error) {
+	queries, err := tpch.Queries(cat)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig13Row
+	for _, name := range fig12Queries {
+		q := queries[name]
+		plain, err := runOnce(cat, q, pop.Options{Enabled: false}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s plain: %w", name, err)
+		}
+		pol := pop.Policy{LCEM: true, RequireBoundedRange: false, Unchecked: true}
+		res, err := runOnce(cat, q, pop.Options{Enabled: true, Policy: pol, MaxReopts: 3}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s LCEM: %w", name, err)
+		}
+		out = append(out, Fig13Row{
+			Query:    name,
+			Plain:    plain.Work,
+			WithLCEM: res.Work,
+			Overhead: res.Work / plain.Work,
+			NLJNs:    res.Attempts[0].Checks,
+		})
+	}
+	return out, nil
+}
+
+// WriteFig13 renders the overhead table.
+func WriteFig13(w io.Writer, rows []Fig13Row) {
+	fmt.Fprintln(w, "Figure 13 — Cost of lazy checking with eager materialization (no reopt)")
+	fmt.Fprintf(w, "%6s %12s %12s %10s %6s\n", "query", "plain", "with LCEM", "overhead", "LCEMs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6s %12.0f %12.0f %10.4f %6d\n", r.Query, r.Plain, r.WithLCEM, r.Overhead, r.NLJNs)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 — checkpoint opportunities over query execution.
+
+// Fig14Point is one checkpoint's observed timing, as fractions of the
+// query's total work. ECB checkpoints span a range (Start..End); the others
+// are instants (Start == End).
+type Fig14Point struct {
+	Query  string
+	Flavor string
+	Start  float64
+	End    float64
+}
+
+// fig14Queries match the paper's Figure 14.
+var fig14Queries = []string{"Q2", "Q3", "Q4", "Q5", "Q7", "Q8", "Q11", "Q18"}
+
+// Fig14 places every checkpoint flavor with firing disabled and records when
+// each checkpoint is encountered during execution.
+func Fig14(cat *catalog.Catalog) ([]Fig14Point, error) {
+	queries, err := tpch.Queries(cat)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig14Point
+	policies := []pop.Policy{
+		{LC: true, LCEM: true, RequireBoundedRange: false, Unchecked: true},
+		{ECB: true, RequireBoundedRange: false, Unchecked: true},
+	}
+	for _, name := range fig14Queries {
+		q := queries[name]
+		for pi, pol := range policies {
+			res, err := runOnce(cat, q, pop.Options{Enabled: true, Policy: pol, MaxReopts: 3}, nil)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 %s policy %d: %w", name, pi, err)
+			}
+			if res.Work <= 0 {
+				continue
+			}
+			for _, obs := range res.CheckStats {
+				if !obs.Touched {
+					continue
+				}
+				start := obs.FirstWork / res.Work
+				end := obs.DoneWork / res.Work
+				if obs.Meta.Flavor != optimizer.ECB {
+					end = start
+				}
+				flavor := obs.Meta.Flavor.String()
+				if obs.Meta.Where != "" {
+					flavor += " (" + obs.Meta.Where + ")"
+				}
+				out = append(out, Fig14Point{
+					Query:  name,
+					Flavor: flavor,
+					Start:  start,
+					End:    end,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Query != out[j].Query {
+			return out[i].Query < out[j].Query
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out, nil
+}
+
+// WriteFig14 renders the opportunity scatter.
+func WriteFig14(w io.Writer, points []Fig14Point) {
+	fmt.Fprintln(w, "Figure 14 — Checkpoint opportunities (fraction of execution completed)")
+	fmt.Fprintf(w, "%6s %-22s %8s %8s\n", "query", "flavor", "start", "end")
+	for _, p := range points {
+		fmt.Fprintf(w, "%6s %-22s %8.3f %8.3f\n", p.Query, p.Flavor, p.Start, p.End)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 15 & 16 — the DMV case study.
+
+// DMVResult is one workload query's POP-vs-static outcome (Figure 15 scatter
+// point and Figure 16 speedup bar).
+type DMVResult struct {
+	Name    string
+	Desc    string
+	WorkOff float64
+	WorkOn  float64
+	Reopts  int
+	Factor  float64 // >1 speedup; <-1 regression (paper's signed convention)
+}
+
+// DMVStudy runs the 39-query DMV workload with and without POP.
+func DMVStudy(cat *catalog.Catalog, qs []dmv.QueryInfo) ([]DMVResult, error) {
+	var out []DMVResult
+	for _, qi := range qs {
+		off, err := runOnce(cat, qi.Query, pop.Options{Enabled: false}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("dmv %s static: %w", qi.Name, err)
+		}
+		on, err := runOnce(cat, qi.Query, pop.DefaultOptions(), nil)
+		if err != nil {
+			return nil, fmt.Errorf("dmv %s POP: %w", qi.Name, err)
+		}
+		factor := off.Work / on.Work
+		if factor < 1 && factor > 0 {
+			factor = -on.Work / off.Work // regression, signed like Fig. 16
+		}
+		out = append(out, DMVResult{
+			Name:    qi.Name,
+			Desc:    qi.Desc,
+			WorkOff: off.Work,
+			WorkOn:  on.Work,
+			Reopts:  on.Reopts,
+			Factor:  factor,
+		})
+	}
+	return out, nil
+}
+
+// DMVSummary aggregates the study: improved/regressed counts and extremes.
+type DMVSummary struct {
+	Improved, Regressed, Neutral int
+	MaxSpeedup, MaxRegression    float64
+	TotalReopts                  int
+}
+
+// Summarize computes the Figure 15/16 headline numbers.
+func Summarize(results []DMVResult) DMVSummary {
+	var s DMVSummary
+	s.MaxSpeedup, s.MaxRegression = 1, 1
+	for _, r := range results {
+		switch {
+		case r.Factor > 1.02:
+			s.Improved++
+			if r.Factor > s.MaxSpeedup {
+				s.MaxSpeedup = r.Factor
+			}
+		case r.Factor < -1.02:
+			s.Regressed++
+			if -r.Factor > s.MaxRegression {
+				s.MaxRegression = -r.Factor
+			}
+		default:
+			s.Neutral++
+		}
+		s.TotalReopts += r.Reopts
+	}
+	return s
+}
+
+// WriteFig15 renders the response-time scatter (work with vs without POP).
+func WriteFig15(w io.Writer, results []DMVResult) {
+	fmt.Fprintln(w, "Figure 15 — DMV response (work units): with POP vs without POP")
+	fmt.Fprintf(w, "%-7s %14s %14s %7s  %s\n", "query", "without POP", "with POP", "reopts", "predicates")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-7s %14.0f %14.0f %7d  %s\n", r.Name, r.WorkOff, r.WorkOn, r.Reopts, r.Desc)
+	}
+}
+
+// WriteFig16 renders the per-query speedup/regression factors and summary.
+func WriteFig16(w io.Writer, results []DMVResult) {
+	fmt.Fprintln(w, "Figure 16 — Speedup (+) / regression (−) factor per DMV query")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-7s %+8.2f\n", r.Name, r.Factor)
+	}
+	s := Summarize(results)
+	fmt.Fprintf(w, "improved=%d regressed=%d neutral=%d  max speedup=%.1fx  max regression=%.1fx  reopts=%d\n",
+		s.Improved, s.Regressed, s.Neutral, s.MaxSpeedup, s.MaxRegression, s.TotalReopts)
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — placement, risk and opportunity per checkpoint flavor.
+
+// Table1Row describes one checkpoint flavor (paper Table 1).
+type Table1Row struct {
+	Flavor      string
+	Placement   string
+	Risk        string
+	Opportunity string
+}
+
+// Table1 returns the flavor summary table.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"LC", "CHECK above materialization points", "very low — only context switching", "low, only at materialization points"},
+		{"LCEM", "CHECK-materialization pairs on outer of NLJN", "context switching + materialization overhead", "materialization points and NLJN outers"},
+		{"ECB", "BUFCHECK on outer of NLJN", "high — exact cardinality of subplan below ECB not available", "can re-optimize anytime during materialization"},
+		{"ECWC", "CHECK below materialization points", "high — may throw away arbitrary work", "anywhere below a materialization point"},
+		{"ECDC", "CHECK + INSERT before reopt; anti-join after", "high — may throw away arbitrary work", "anywhere in the plan of an SPJ query"},
+	}
+}
+
+// WriteTable1 renders Table 1.
+func WriteTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1 — Placement, risk and opportunity of checkpoint flavors")
+	for _, r := range Table1() {
+		fmt.Fprintf(w, "%-5s | %-46s | %-55s | %s\n", r.Flavor, r.Placement, r.Risk, r.Opportunity)
+	}
+}

@@ -1,0 +1,823 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/stats"
+)
+
+// Optimizer is the cost-based query optimizer. The zero value is not usable;
+// construct with New. The Disable* knobs reproduce the paper's experimental
+// setups (e.g. Figure 12 disables hash joins to generate many SORT
+// materialization points).
+type Optimizer struct {
+	Cat      *catalog.Catalog
+	Feedback *stats.Feedback
+	Model    CostModel
+
+	DisableHSJN      bool
+	DisableMGJN      bool
+	DisableNLJN      bool
+	DisableIndexJoin bool
+	DisableMVReuse   bool
+
+	// ForceMVReuse makes matching temporary materialized views effectively
+	// free, so the optimizer always reuses them. The POP runner enables it on
+	// the final permitted re-optimization to guarantee forward progress
+	// (paper §7 "Ensuring Termination": "forcing the use of intermediate
+	// results after several attempts").
+	ForceMVReuse bool
+
+	// MVNamespace scopes temp-MV lookups to one statement: views are matched
+	// under key MVNamespace+signature, so concurrent statements sharing a
+	// catalog never see each other's intermediate results.
+	MVNamespace string
+
+	// RobustnessBonus implements §7 "Checking Opportunities": a relative
+	// cost handicap (e.g. 0.2 = +20%) applied to operators that offer fewer
+	// re-optimization opportunities — hash joins and index nested-loop
+	// joins — so that in volatile environments the optimizer prefers
+	// sort-merge plans, whose materialization points are natural low-risk
+	// checkpoints. Synced into the cost model at Optimize time.
+	RobustnessBonus float64
+
+	// UncertaintyPenalty implements §7 "Considering Uncertainty during
+	// Re-optimization": during a re-optimization (feedback cache non-empty),
+	// cardinality estimates that are NOT backed by an actual observation are
+	// inflated by this factor (e.g. 1.5), penalizing plans built on
+	// still-uncertain estimates relative to plans whose inputs were measured.
+	UncertaintyPenalty float64
+
+	// ComputeValidity enables the §2.2 sensitivity analysis during pruning.
+	ComputeValidity bool
+
+	// GreedyThreshold is the table count beyond which exhaustive DP yields
+	// to greedy left-deep enumeration.
+	GreedyThreshold int
+}
+
+// New returns an optimizer with default cost parameters and validity-range
+// computation enabled.
+func New(cat *catalog.Catalog) *Optimizer {
+	return &Optimizer{
+		Cat:             cat,
+		Model:           CostModel{Params: DefaultCostParams()},
+		ComputeValidity: true,
+		GreedyThreshold: 12,
+	}
+}
+
+// planner carries the per-query enumeration state.
+type planner struct {
+	opt  *Optimizer
+	q    *logical.Query
+	tabs []*catalog.Table
+	est  *estimator
+	// best maps a table subset to its best plans keyed by output order
+	// (-1 = unordered).
+	best map[uint64]map[int]*Plan
+}
+
+// Optimize compiles the query into the cheapest physical plan, computing
+// validity ranges on plan edges along the way.
+func (o *Optimizer) Optimize(q *logical.Query) (*Plan, error) {
+	tabs := make([]*catalog.Table, len(q.Tables))
+	for i, tr := range q.Tables {
+		t, err := o.Cat.Table(tr.Table)
+		if err != nil {
+			return nil, err
+		}
+		tabs[i] = t
+	}
+	pl := &planner{
+		opt:  o,
+		q:    q,
+		tabs: tabs,
+		est:  newEstimator(q, tabs, o.Feedback),
+		best: make(map[uint64]map[int]*Plan),
+	}
+	pl.est.uncertainty = o.UncertaintyPenalty
+	o.Model.RobustnessBonus = o.RobustnessBonus
+	for ti := range tabs {
+		for _, ap := range pl.baseAccessPaths(ti) {
+			pl.addCandidate(ap)
+		}
+	}
+	n := len(tabs)
+	full := uint64(1)<<uint(n) - 1
+	if n > 1 {
+		if n <= o.GreedyThreshold {
+			pl.enumerateDP(full)
+		} else {
+			if err := pl.enumerateGreedy(full); err != nil {
+				return nil, err
+			}
+		}
+	}
+	join := pl.bestOf(full)
+	if join == nil {
+		return nil, maskError(pl.est, full)
+	}
+	return pl.finish(join)
+}
+
+// addCandidate offers a plan for its subset/order slot, pruning against the
+// incumbent and narrowing the winner's validity ranges per §2.2.
+func (pl *planner) addCandidate(cand *Plan) {
+	group := pl.best[cand.tables]
+	if group == nil {
+		group = make(map[int]*Plan)
+		pl.best[cand.tables] = group
+	}
+	// Narrow across order groups too: an ordered plan (e.g. a merge join)
+	// and the unordered best are structural alternatives for the same
+	// subset, so their cost crossover bounds both plans' edges even though
+	// neither prunes the other.
+	if cand.ordered != -1 {
+		if u := group[-1]; u != nil {
+			pl.narrowPair(cand, u)
+		}
+	} else {
+		for key, inc := range group {
+			if key != -1 {
+				pl.narrowPair(cand, inc)
+			}
+		}
+	}
+	inc := group[cand.ordered]
+	if inc == nil {
+		group[cand.ordered] = cand
+		return
+	}
+	if cand.Cost < inc.Cost {
+		pl.narrow(cand, inc)
+		group[cand.ordered] = cand
+	} else {
+		pl.narrow(inc, cand)
+	}
+}
+
+// narrowPair narrows the cheaper plan's validity ranges against the
+// costlier alternative.
+func (pl *planner) narrowPair(a, b *Plan) {
+	if a.Cost < b.Cost {
+		pl.narrow(a, b)
+	} else {
+		pl.narrow(b, a)
+	}
+}
+
+func (pl *planner) narrow(winner, loser *Plan) {
+	if !pl.opt.ComputeValidity || len(winner.Children) == 0 || len(loser.Children) == 0 {
+		return
+	}
+	pl.opt.Model.narrowValidity(winner, loser)
+}
+
+// bestOf returns the cheapest plan for the subset across all order keys.
+func (pl *planner) bestOf(mask uint64) *Plan {
+	var best *Plan
+	for _, p := range pl.best[mask] {
+		if best == nil || p.Cost < best.Cost {
+			best = p
+		}
+	}
+	return best
+}
+
+// allCols returns the global ids of every column of table ti.
+func (pl *planner) allCols(ti int) []int {
+	n := pl.q.Schemas[ti].Len()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = pl.q.GlobalID(ti, i)
+	}
+	return out
+}
+
+// baseAccessPaths generates the single-table access plans: sequential scan,
+// index scans (sargable and order-providing), and — during re-optimization —
+// a scan of a matching temporary materialized view.
+func (pl *planner) baseAccessPaths(ti int) []*Plan {
+	q, t := pl.q, pl.tabs[ti]
+	pr := &pl.opt.Model.Params
+	local := q.LocalPredicates(ti)
+	baseRows := t.RowCount()
+	fCard := pl.est.filteredBaseCard(ti)
+	cols := pl.allCols(ti)
+	mask := uint64(1) << uint(ti)
+
+	var paths []*Plan
+
+	scan := &Plan{
+		Op:      OpTableScan,
+		Table:   ti,
+		Filter:  expr.Conjoin(local...),
+		Cols:    cols,
+		Card:    fCard,
+		Cost:    baseRows*pr.ScanRow + baseRows*float64(len(local))*pr.PredEval,
+		tables:  mask,
+		ordered: -1,
+	}
+	paths = append(paths, scan)
+
+	for _, ix := range t.BTrees {
+		ord := ix.KeyOrdinal()
+		keyGID := q.GlobalID(ti, ord)
+		lo, hi, loInc, hiInc, used, residual := sargableBounds(local, keyGID)
+		// Selectivity of the index-applied portion.
+		idxSel := 1.0
+		for _, p := range used {
+			idxSel *= stats.Selectivity(p, pl.est.lookup())
+		}
+		matched := baseRows * idxSel
+		height := float64(ix.Height())
+		cost := height*pr.IndexLevel + matched*pr.FetchRow +
+			matched*float64(len(residual))*pr.PredEval
+		if len(used) == 0 {
+			// Full index scan: provides order, costs a fetch per row.
+			cost = baseRows*(pr.FetchRow+0.2) + baseRows*float64(len(residual))*pr.PredEval
+		}
+		paths = append(paths, &Plan{
+			Op:         OpIndexScan,
+			Table:      ti,
+			IndexOrd:   ord,
+			IndexLo:    lo,
+			IndexHi:    hi,
+			IndexLoInc: loInc,
+			IndexHiInc: hiInc,
+			Filter:     expr.Conjoin(residual...),
+			Cols:       cols,
+			Card:       fCard,
+			Cost:       cost,
+			tables:     mask,
+			ordered:    keyGID,
+		})
+	}
+
+	// Hash-index point lookups: an equality predicate with a constant on a
+	// hash-indexed column becomes an O(1) probe plus qualifying fetches.
+	for _, ix := range t.Hash {
+		keyOrds := ix.KeyOrdinals()
+		if len(keyOrds) != 1 {
+			continue // composite hash keys are not yet sargable
+		}
+		ord := keyOrds[0]
+		keyGID := q.GlobalID(ti, ord)
+		lo, hi, loInc, hiInc, used, residual := sargableBounds(local, keyGID)
+		if lo == nil || hi == nil || !loInc || !hiInc {
+			continue // hash indexes serve equality only
+		}
+		if loConst, ok := lo.(*expr.Const); !ok {
+			continue
+		} else if hiConst, ok2 := hi.(*expr.Const); !ok2 {
+			continue
+		} else if c, err := loConst.Val.Compare(hiConst.Val); err != nil || c != 0 {
+			continue
+		}
+		idxSel := 1.0
+		for _, p := range used {
+			idxSel *= stats.Selectivity(p, pl.est.lookup())
+		}
+		matched := baseRows * idxSel
+		paths = append(paths, &Plan{
+			Op:         OpHashLookup,
+			Table:      ti,
+			IndexOrd:   ord,
+			IndexLo:    lo,
+			IndexHi:    hi,
+			IndexLoInc: true,
+			IndexHiInc: true,
+			Filter:     expr.Conjoin(residual...),
+			Cols:       cols,
+			Card:       fCard,
+			Cost: pr.HashProbeRow + matched*pr.FetchRow +
+				matched*float64(len(residual))*pr.PredEval,
+			tables:  mask,
+			ordered: -1,
+		})
+	}
+
+	if mv := pl.matchMV(mask); mv != nil {
+		paths = append(paths, mv)
+	}
+	return paths
+}
+
+// matchMV returns an MVSCAN plan if a temporary materialized view matches
+// the subset's signature (paper §2.3: intermediate results are offered to
+// the optimizer as materialized views and chosen only if they win on cost).
+func (pl *planner) matchMV(mask uint64) *Plan {
+	if pl.opt.DisableMVReuse {
+		return nil
+	}
+	mv := pl.opt.Cat.View(pl.opt.MVNamespace + pl.est.Signature(mask))
+	if mv == nil {
+		return nil
+	}
+	ordered := -1
+	if mv.Sorted {
+		ordered = mv.OrderedCol
+	}
+	pr := &pl.opt.Model.Params
+	cost := mv.Card * pr.TempRead
+	if pl.opt.ForceMVReuse {
+		cost = 0 // termination heuristic: the view always wins (§7)
+	}
+	return &Plan{
+		Op:      OpMVScan,
+		MV:      mv,
+		Cols:    append([]int(nil), mv.Cols...),
+		Card:    mv.Card,
+		Cost:    cost,
+		tables:  mask,
+		ordered: ordered,
+	}
+}
+
+// sargableBounds extracts index bounds for the key column from the local
+// predicates: constant comparisons become bounds, everything else stays
+// residual.
+func sargableBounds(preds []expr.Expr, keyGID int) (lo, hi expr.Expr, loInc, hiInc bool, used, residual []expr.Expr) {
+	for _, p := range preds {
+		c, ok := p.(*expr.Cmp)
+		if !ok {
+			residual = append(residual, p)
+			continue
+		}
+		col, isCol := c.L.(*expr.ColRef)
+		val, isConst := c.R.(*expr.Const)
+		op := c.Op
+		if !isCol || !isConst {
+			if col2, ok2 := c.R.(*expr.ColRef); ok2 {
+				if val2, ok3 := c.L.(*expr.Const); ok3 {
+					col, val, op, isCol, isConst = col2, val2, c.Op.Flip(), true, true
+				}
+			}
+		}
+		if !isCol || !isConst || col.Pos != keyGID {
+			residual = append(residual, p)
+			continue
+		}
+		switch op {
+		case expr.EQ:
+			lo, hi, loInc, hiInc = &expr.Const{Val: val.Val}, &expr.Const{Val: val.Val}, true, true
+			used = append(used, p)
+		case expr.LT:
+			hi, hiInc = &expr.Const{Val: val.Val}, false
+			used = append(used, p)
+		case expr.LE:
+			hi, hiInc = &expr.Const{Val: val.Val}, true
+			used = append(used, p)
+		case expr.GT:
+			lo, loInc = &expr.Const{Val: val.Val}, false
+			used = append(used, p)
+		case expr.GE:
+			lo, loInc = &expr.Const{Val: val.Val}, true
+			used = append(used, p)
+		default:
+			residual = append(residual, p)
+		}
+	}
+	return lo, hi, loInc, hiInc, used, residual
+}
+
+// enumerateDP runs exhaustive left-deep dynamic programming over subsets.
+func (pl *planner) enumerateDP(full uint64) {
+	n := popcount(full)
+	for size := 2; size <= n; size++ {
+		for mask := uint64(1); mask <= full; mask++ {
+			if mask&full != mask || popcount(mask) != size {
+				continue
+			}
+			pl.expandSubset(mask)
+		}
+	}
+}
+
+// expandSubset generates join plans for a subset from its left-deep splits
+// and offers a matching MV as an alternative.
+func (pl *planner) expandSubset(mask uint64) {
+	type split struct {
+		ti        int
+		connected bool
+	}
+	var splits []split
+	anyConnected := false
+	for ti := range pl.q.Tables {
+		bit := uint64(1) << uint(ti)
+		if mask&bit == 0 {
+			continue
+		}
+		rest := mask &^ bit
+		if rest == 0 || len(pl.best[rest]) == 0 {
+			continue
+		}
+		conn := len(pl.joinPredsBetween(rest, ti)) > 0
+		anyConnected = anyConnected || conn
+		splits = append(splits, split{ti: ti, connected: conn})
+	}
+	for _, s := range splits {
+		if anyConnected && !s.connected {
+			continue // defer cartesian products unless unavoidable
+		}
+		rest := mask &^ (1 << uint(s.ti))
+		for _, outer := range pl.best[rest] {
+			for _, cand := range pl.joinCandidates(outer, s.ti) {
+				pl.addCandidate(cand)
+			}
+		}
+	}
+	if mv := pl.matchMV(mask); mv != nil {
+		pl.addCandidate(mv)
+	}
+}
+
+// enumerateGreedy folds tables into a left-deep chain, at each step choosing
+// the join that minimizes estimated output cardinality — the standard
+// fallback for very wide joins.
+func (pl *planner) enumerateGreedy(full uint64) error {
+	// Start from the smallest filtered table.
+	start, bestCard := -1, math.Inf(1)
+	for ti := range pl.q.Tables {
+		if c := pl.est.filteredBaseCard(ti); c < bestCard {
+			start, bestCard = ti, c
+		}
+	}
+	joined := uint64(1) << uint(start)
+	for joined != full {
+		next, nextCard, connectedFound := -1, math.Inf(1), false
+		for ti := range pl.q.Tables {
+			bit := uint64(1) << uint(ti)
+			if joined&bit != 0 {
+				continue
+			}
+			conn := len(pl.joinPredsBetween(joined, ti)) > 0
+			card := pl.est.SubsetCard(joined | bit)
+			if conn && !connectedFound {
+				// First connected candidate beats any cartesian one.
+				next, nextCard, connectedFound = ti, card, true
+				continue
+			}
+			if conn == connectedFound && card < nextCard {
+				next, nextCard = ti, card
+			}
+		}
+		if next < 0 {
+			return fmt.Errorf("optimizer: greedy enumeration stuck at %s", pl.est.maskString(joined))
+		}
+		for _, outer := range pl.best[joined] {
+			for _, cand := range pl.joinCandidates(outer, next) {
+				pl.addCandidate(cand)
+			}
+		}
+		joined |= 1 << uint(next)
+		if mv := pl.matchMV(joined); mv != nil {
+			pl.addCandidate(mv)
+		}
+		if len(pl.best[joined]) == 0 {
+			return maskError(pl.est, joined)
+		}
+	}
+	return nil
+}
+
+// joinPredsBetween returns the join predicates connecting subset rest with
+// table ti.
+func (pl *planner) joinPredsBetween(rest uint64, ti int) []expr.Expr {
+	bit := uint64(1) << uint(ti)
+	var out []expr.Expr
+	for _, p := range pl.q.JoinPredicates() {
+		used := pl.q.TablesUsed(p)
+		if used&bit != 0 && used&rest != 0 && used&^(rest|bit) == 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// equiPair is one hash/merge-joinable equality between the outer subset and
+// the inner table.
+type equiPair struct {
+	pred       expr.Expr
+	outerCol   int // global id on the outer side
+	innerCol   int // global id on the inner (single-table) side
+	innerTable int
+}
+
+func (pl *planner) equiPairs(preds []expr.Expr, rest uint64, ti int) (pairs []equiPair, residual []expr.Expr) {
+	for _, p := range preds {
+		l, r, ok := expr.EquiJoinColumns(p)
+		if !ok {
+			residual = append(residual, p)
+			continue
+		}
+		lt, rt := pl.q.TableOf(l), pl.q.TableOf(r)
+		switch {
+		case lt == ti && rest&(1<<uint(rt)) != 0:
+			pairs = append(pairs, equiPair{pred: p, outerCol: r, innerCol: l, innerTable: ti})
+		case rt == ti && rest&(1<<uint(lt)) != 0:
+			pairs = append(pairs, equiPair{pred: p, outerCol: l, innerCol: r, innerTable: ti})
+		default:
+			residual = append(residual, p)
+		}
+	}
+	return pairs, residual
+}
+
+// joinCandidates builds every physical join of outer ⋈ table ti the knobs
+// allow: naive NLJN, index NLJN, hash join in both build directions, and
+// merge join with sort enforcers.
+func (pl *planner) joinCandidates(outer *Plan, ti int) []*Plan {
+	q := pl.q
+	bit := uint64(1) << uint(ti)
+	mask := outer.tables | bit
+	outCard := pl.est.SubsetCard(mask)
+	joinPreds := pl.joinPredsBetween(outer.tables, ti)
+	pairs, nonEqui := pl.equiPairs(joinPreds, outer.tables, ti)
+	m := &pl.opt.Model
+
+	innerPlans := pl.best[bit]
+	innerCheapest := pl.bestOf(bit)
+	if innerCheapest == nil {
+		return nil
+	}
+
+	var out []*Plan
+	mk := func(p *Plan) {
+		p.tables = mask
+		p.Card = outCard
+		m.finishCosting(p) // the model applies the robustness handicap
+		out = append(out, p)
+	}
+
+	// Naive nested-loop join: always applicable (handles non-equi and
+	// cartesian joins), rescans the inner per outer row.
+	if !pl.opt.DisableNLJN {
+		mk(&Plan{
+			Op:       OpNLJN,
+			Children: []*Plan{outer, innerCheapest},
+			JoinPred: expr.Conjoin(joinPreds...),
+			Filter:   expr.Conjoin(joinPreds...),
+			Cols:     append(append([]int(nil), outer.Cols...), innerCheapest.Cols...),
+			ordered:  outer.ordered,
+		})
+	}
+
+	// Index nested-loop join per indexed equi column.
+	if !pl.opt.DisableNLJN && !pl.opt.DisableIndexJoin {
+		for _, pr := range pairs {
+			ord := q.OrdinalOf(pr.innerCol)
+			ix := pl.tabs[ti].BTreeOn(ord)
+			if ix == nil {
+				continue
+			}
+			probe := pl.indexProbePlan(ti, ord, outer, outCard)
+			var residual []expr.Expr
+			residual = append(residual, nonEqui...)
+			for _, other := range pairs {
+				if other.pred != pr.pred {
+					residual = append(residual, other.pred)
+				}
+			}
+			mk(&Plan{
+				Op:        OpNLJN,
+				IndexJoin: true,
+				LookupCol: pr.outerCol,
+				Children:  []*Plan{outer, probe},
+				JoinPred:  expr.Conjoin(joinPreds...),
+				Filter:    expr.Conjoin(residual...),
+				Cols:      append(append([]int(nil), outer.Cols...), probe.Cols...),
+				ordered:   outer.ordered,
+			})
+		}
+	}
+
+	// Hash join (requires at least one equality) in both build directions.
+	if !pl.opt.DisableHSJN && len(pairs) > 0 {
+		probeKeys := make([]int, len(pairs))
+		buildKeys := make([]int, len(pairs))
+		for i, pr := range pairs {
+			probeKeys[i] = pr.outerCol
+			buildKeys[i] = pr.innerCol
+		}
+		// Build on the single table, probe with the outer subset.
+		mk(&Plan{
+			Op:        OpHSJN,
+			Children:  []*Plan{outer, innerCheapest},
+			EquiLeft:  probeKeys,
+			EquiRight: buildKeys,
+			Filter:    expr.Conjoin(nonEqui...),
+			Cols:      append(append([]int(nil), outer.Cols...), innerCheapest.Cols...),
+			ordered:   outer.ordered,
+		})
+		// Build on the outer subset, probe with the table.
+		mk(&Plan{
+			Op:        OpHSJN,
+			Children:  []*Plan{innerCheapest, outer},
+			EquiLeft:  buildKeys,
+			EquiRight: probeKeys,
+			Filter:    expr.Conjoin(nonEqui...),
+			Cols:      append(append([]int(nil), innerCheapest.Cols...), outer.Cols...),
+			ordered:   innerCheapest.ordered,
+		})
+	}
+
+	// Merge join on the first equi pair, with sort enforcers as needed. An
+	// inner plan already ordered on the key (an index scan) avoids its sort.
+	if !pl.opt.DisableMGJN && len(pairs) > 0 {
+		pr := pairs[0]
+		left := pl.sorted(outer, pr.outerCol)
+		var right *Plan
+		if ip, ok := innerPlans[pr.innerCol]; ok {
+			right = ip
+		} else {
+			right = pl.sorted(innerCheapest, pr.innerCol)
+		}
+		var residual []expr.Expr
+		residual = append(residual, nonEqui...)
+		for _, other := range pairs[1:] {
+			residual = append(residual, other.pred)
+		}
+		mk(&Plan{
+			Op:        OpMGJN,
+			Children:  []*Plan{left, right},
+			EquiLeft:  []int{pr.outerCol},
+			EquiRight: []int{pr.innerCol},
+			Filter:    expr.Conjoin(residual...),
+			Cols:      append(append([]int(nil), left.Cols...), right.Cols...),
+			ordered:   pr.outerCol,
+		})
+	}
+	return out
+}
+
+// indexProbePlan builds the parameterized index-probe inner of an index
+// NLJN: Card is the expected matches per probe and Cost the per-probe cost.
+func (pl *planner) indexProbePlan(ti, ord int, outer *Plan, outCard float64) *Plan {
+	q := pl.q
+	pr := &pl.opt.Model.Params
+	ix := pl.tabs[ti].BTreeOn(ord)
+	local := q.LocalPredicates(ti)
+	perProbe := outCard / math.Max(outer.Card, 1e-9)
+	if perProbe < 1e-6 {
+		perProbe = 1e-6
+	}
+	cost := float64(ix.Height())*pr.IndexLevel + perProbe*pr.FetchRow +
+		perProbe*float64(len(local))*pr.PredEval
+	return &Plan{
+		Op:       OpIndexScan,
+		Table:    ti,
+		IndexOrd: ord,
+		Filter:   expr.Conjoin(local...),
+		Cols:     pl.allCols(ti),
+		Card:     perProbe,
+		Cost:     cost,
+		tables:   uint64(1) << uint(ti),
+		ordered:  -1,
+	}
+}
+
+// sorted wraps p in a SORT enforcer unless it is already ordered on col.
+func (pl *planner) sorted(p *Plan, col int) *Plan {
+	if p.ordered == col {
+		return p
+	}
+	s := &Plan{
+		Op:       OpSort,
+		Children: []*Plan{p},
+		SortKeys: []SortKey{{Col: col}},
+		Cols:     p.Cols,
+		Card:     p.Card,
+		tables:   p.tables,
+		ordered:  col,
+	}
+	pl.opt.Model.finishCosting(s)
+	return s
+}
+
+// finish layers aggregation, ordering, projection and limit over the join
+// plan.
+func (pl *planner) finish(join *Plan) (*Plan, error) {
+	q := pl.q
+	m := &pl.opt.Model
+	top := join
+	hasAgg := len(q.GroupBy) > 0
+	for _, it := range q.Select {
+		if it.Agg != logical.AggNone {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		var groupGids []int
+		for _, g := range q.GroupBy {
+			c, ok := g.(*expr.ColRef)
+			if !ok {
+				return nil, fmt.Errorf("optimizer: GROUP BY supports only column references, got %s", g)
+			}
+			groupGids = append(groupGids, c.Pos)
+		}
+		agg := &Plan{
+			Op:       OpHashAgg,
+			Children: []*Plan{top},
+			GroupBy:  groupGids,
+			Items:    q.Select,
+			Cols:     pl.outputIDs(len(q.Select)),
+			Card:     pl.est.groupCount(groupGids, top.Card),
+			tables:   top.tables,
+			ordered:  -1,
+		}
+		m.finishCosting(agg)
+		top = agg
+	} else {
+		proj := &Plan{
+			Op:       OpProject,
+			Children: []*Plan{top},
+			Items:    q.Select,
+			Cols:     pl.outputIDs(len(q.Select)),
+			Card:     top.Card,
+			tables:   top.tables,
+			ordered:  -1,
+		}
+		m.finishCosting(proj)
+		top = proj
+	}
+	if q.Distinct {
+		items := make([]logical.SelectItem, len(top.Cols))
+		for i, c := range top.Cols {
+			items[i] = logical.SelectItem{E: &expr.ColRef{Pos: c}, Name: q.Select[i].Name}
+		}
+		dedup := &Plan{
+			Op:       OpHashAgg,
+			Children: []*Plan{top},
+			GroupBy:  append([]int(nil), top.Cols...),
+			Items:    items,
+			Cols:     append([]int(nil), top.Cols...),
+			Card:     top.Card, // upper bound; duplicates unknown a priori
+			tables:   top.tables,
+			ordered:  -1,
+		}
+		m.finishCosting(dedup)
+		top = dedup
+	}
+	if len(q.OrderBy) > 0 {
+		keys, err := pl.orderKeys(top)
+		if err != nil {
+			return nil, err
+		}
+		srt := &Plan{
+			Op:       OpSort,
+			Children: []*Plan{top},
+			SortKeys: keys,
+			Cols:     top.Cols,
+			Card:     top.Card,
+			tables:   top.tables,
+			ordered:  keys[0].Col,
+		}
+		m.finishCosting(srt)
+		top = srt
+	}
+	if q.Limit > 0 {
+		top.Limit = q.Limit
+	}
+	return top, nil
+}
+
+// outputIDs allocates synthetic global ids for the n output columns of the
+// final aggregation/projection, placed above the base-column id space.
+func (pl *planner) outputIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = pl.q.NumColumns() + i
+	}
+	return out
+}
+
+// orderKeys maps ORDER BY items onto the output columns by matching each
+// item against the select list.
+func (pl *planner) orderKeys(top *Plan) ([]SortKey, error) {
+	q := pl.q
+	keys := make([]SortKey, 0, len(q.OrderBy))
+	for _, o := range q.OrderBy {
+		found := -1
+		for j, it := range q.Select {
+			if it.E != nil && it.Agg == logical.AggNone && it.E.String() == o.E.String() {
+				found = j
+				break
+			}
+			if c, ok := o.E.(*expr.ColRef); ok && it.Name != "" && it.Name == c.Name {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("optimizer: ORDER BY key %s must appear in the select list", o.E)
+		}
+		keys = append(keys, SortKey{Col: q.NumColumns() + found, Desc: o.Desc})
+	}
+	return keys, nil
+}

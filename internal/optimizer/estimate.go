@@ -1,0 +1,193 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/stats"
+)
+
+// estimator derives cardinalities for the enumerator. It consults the
+// cardinality-feedback cache before statistics, so actual cardinalities
+// observed during a previous partial execution override the original
+// (possibly wrong) estimates — POP's aspect 2 (paper §2).
+type estimator struct {
+	q    *logical.Query
+	tabs []*catalog.Table
+	fb   *stats.Feedback
+	// uncertainty inflates estimates not backed by feedback during a
+	// re-optimization (>1 enables; see Optimizer.UncertaintyPenalty).
+	uncertainty float64
+}
+
+func newEstimator(q *logical.Query, tabs []*catalog.Table, fb *stats.Feedback) *estimator {
+	return &estimator{q: q, tabs: tabs, fb: fb}
+}
+
+// uncertain applies the §7 uncertainty penalty to a non-observed estimate.
+// It is active only during re-optimization (the feedback cache has entries)
+// and only when the optimizer enables it.
+func (e *estimator) uncertain(card float64) float64 {
+	if e.uncertainty > 1 && e.fb != nil && e.fb.Len() > 0 {
+		return card * e.uncertainty
+	}
+	return card
+}
+
+// statsLookup resolves a query-global column id to its column statistics.
+func (e *estimator) statsLookup(g int) *stats.ColumnStats {
+	ti := e.q.TableOf(g)
+	if ti < 0 {
+		return nil
+	}
+	return e.tabs[ti].Stats(e.q.OrdinalOf(g))
+}
+
+// lookup adapts statsLookup to the stats package's Lookup type.
+func (e *estimator) lookup() stats.Lookup {
+	return func(pos int) *stats.ColumnStats { return e.statsLookup(pos) }
+}
+
+// Signature builds the canonical plan-edge signature for a table subset of
+// the query: the sorted aliases of the tables joined plus the sorted
+// canonical text of every predicate applied within the subset (all members'
+// local predicates and all internal join predicates). Two structurally
+// equivalent subplans share a signature regardless of operator choice or
+// join order — the key property for cardinality feedback and MV matching.
+func Signature(q *logical.Query, mask uint64) string {
+	var aliases []string
+	for i := range q.Tables {
+		if mask&(1<<uint(i)) != 0 {
+			aliases = append(aliases, q.Tables[i].Alias)
+		}
+	}
+	sort.Strings(aliases)
+	var preds []string
+	for _, p := range q.Where {
+		used := q.TablesUsed(p)
+		if used != 0 && used&mask == used {
+			preds = append(preds, predSignature(q, p))
+		}
+	}
+	sort.Strings(preds)
+	return "T{" + strings.Join(aliases, ",") + "}|P{" + strings.Join(preds, ";") + "}"
+}
+
+// Signature is the estimator-local shorthand for Signature(q, mask).
+func (e *estimator) Signature(mask uint64) string { return Signature(e.q, mask) }
+
+// predSignature renders a predicate with column refs spelled as
+// alias.column, independent of global-id numbering.
+func predSignature(q *logical.Query, p expr.Expr) string {
+	named := expr.Remap(p, func(pos int) int { return pos })
+	// Remap copies; rewrite names in the copy.
+	expr.Walk(named, func(n expr.Expr) {
+		if c, ok := n.(*expr.ColRef); ok {
+			c.Name = q.ColumnName(c.Pos)
+		}
+	})
+	return named.String()
+}
+
+// baseTableCard returns the unfiltered row count of table ti.
+func (e *estimator) baseTableCard(ti int) float64 { return e.tabs[ti].RowCount() }
+
+// filteredBaseCard estimates the cardinality of table ti after its local
+// predicates, preferring feedback.
+func (e *estimator) filteredBaseCard(ti int) float64 {
+	if e.fb != nil {
+		if card, ok := e.fb.Get(e.Signature(1 << uint(ti))); ok {
+			return card
+		}
+	}
+	card := e.baseTableCard(ti)
+	for _, p := range e.q.LocalPredicates(ti) {
+		card *= stats.Selectivity(p, e.lookup())
+	}
+	if card < 0 {
+		card = 0
+	}
+	return e.uncertain(card)
+}
+
+// joinPredSelectivity estimates one join predicate's selectivity.
+func (e *estimator) joinPredSelectivity(p expr.Expr) float64 {
+	if l, r, ok := expr.EquiJoinColumns(p); ok {
+		return stats.JoinSelectivity(e.statsLookup(l), e.statsLookup(r))
+	}
+	return stats.Selectivity(p, e.lookup())
+}
+
+// SubsetCard estimates the output cardinality of joining the table subset,
+// preferring feedback for the exact subset.
+func (e *estimator) SubsetCard(mask uint64) float64 {
+	if e.fb != nil {
+		if card, ok := e.fb.Get(e.Signature(mask)); ok {
+			return card
+		}
+	}
+	card := 1.0
+	for i := range e.q.Tables {
+		if mask&(1<<uint(i)) != 0 {
+			card *= e.filteredBaseCard(i)
+		}
+	}
+	for _, p := range e.q.JoinPredicates() {
+		used := e.q.TablesUsed(p)
+		if used&mask == used {
+			card *= e.joinPredSelectivity(p)
+		}
+	}
+	if card < 0 {
+		card = 0
+	}
+	return e.uncertain(card)
+}
+
+// groupCount estimates the number of groups for the given grouping keys out
+// of `card` input rows: the product of the keys' distinct counts, capped by
+// the input cardinality.
+func (e *estimator) groupCount(groupBy []int, card float64) float64 {
+	if len(groupBy) == 0 {
+		return 1
+	}
+	groups := 1.0
+	for _, g := range groupBy {
+		if cs := e.statsLookup(g); cs != nil && cs.Distinct > 0 {
+			groups *= cs.Distinct
+		} else {
+			groups *= 100
+		}
+	}
+	if groups > card {
+		groups = card
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}
+
+// maskString renders a table bitmask for diagnostics.
+func (e *estimator) maskString(mask uint64) string {
+	var parts []string
+	for i := range e.q.Tables {
+		if mask&(1<<uint(i)) != 0 {
+			parts = append(parts, e.q.Tables[i].Alias)
+		}
+	}
+	return strings.Join(parts, "⋈")
+}
+
+// popcount returns the number of tables in the mask.
+func popcount(mask uint64) int { return bits.OnesCount64(mask) }
+
+// maskError formats a "no plan" diagnostic.
+func maskError(e *estimator, mask uint64) error {
+	return fmt.Errorf("optimizer: no plan found for subset %s", e.maskString(mask))
+}

@@ -1,0 +1,323 @@
+package pop
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// TestLEOSharedFeedback exercises the §7 "Learning for the Future"
+// extension: with a shared feedback cache, the second execution of a query
+// that needed a re-optimization starts with the corrected cardinalities and
+// completes without re-optimizing at all.
+func TestLEOSharedFeedback(t *testing.T) {
+	cat := correlatedFixture(t)
+	q := correlatedQuery(t, cat)
+	fb := stats.NewFeedback()
+	opts := DefaultOptions()
+	opts.SharedFeedback = fb
+
+	first, err := NewRunner(cat, opts).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Reopts != 1 {
+		t.Fatalf("first execution should re-optimize once, got %d", first.Reopts)
+	}
+	if fb.Len() == 0 {
+		t.Fatal("shared cache should retain observations after the statement")
+	}
+	second, err := NewRunner(cat, opts).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Reopts != 0 {
+		t.Errorf("second execution should start with the learned cardinalities (reopts=%d)", second.Reopts)
+	}
+	if strings.Contains(second.Attempts[0].Explain, "NLJN[index]") {
+		t.Errorf("learned plan should not repeat the index NLJN mistake:\n%s", second.Attempts[0].Explain)
+	}
+	if second.Work >= first.Work {
+		t.Errorf("learned execution (%v) should be cheaper than the re-optimized one (%v)", second.Work, first.Work)
+	}
+	if len(second.Rows) != len(first.Rows) {
+		t.Error("results differ across executions")
+	}
+}
+
+// TestForceMVReuseOnFinalAttempt verifies the §7 termination heuristic: on
+// the last permitted re-optimization, matching intermediate results are
+// reused unconditionally.
+func TestForceMVReuseOnFinalAttempt(t *testing.T) {
+	cat := correlatedFixture(t)
+	q := correlatedQuery(t, cat)
+	opts := DefaultOptions()
+	opts.MaxReopts = 1 // attempt 1 is the final one: ForceMVReuse applies
+	res, err := NewRunner(cat, opts).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reopts != 1 {
+		t.Fatalf("expected one re-optimization, got %d", res.Reopts)
+	}
+	final := res.Attempts[len(res.Attempts)-1]
+	if !strings.Contains(final.Explain, "MVSCAN") {
+		t.Errorf("final attempt must reuse the materialized intermediate:\n%s", final.Explain)
+	}
+}
+
+// TestRobustnessBonusPrefersMergePlans verifies the §7 "Checking
+// Opportunities" extension: with a robustness handicap on hash and index
+// joins, the optimizer shifts to sort-merge plans whose materialization
+// points provide low-risk checkpoints.
+func TestRobustnessBonusPrefersMergePlans(t *testing.T) {
+	cat := correlatedFixture(t)
+	q := correlatedQuery(t, cat)
+
+	plain := optimizer.New(cat)
+	p1, err := plain.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust := optimizer.New(cat)
+	robust.RobustnessBonus = 3.0 // strong preference for checkable plans
+	p2, err := robust.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matPoints := func(p *optimizer.Plan) int {
+		return p.Count(optimizer.OpSort) + p.Count(optimizer.OpTemp) + p.Count(optimizer.OpMGJN)
+	}
+	if matPoints(p2) <= matPoints(p1)-1 {
+		t.Errorf("robust mode should not reduce checkable structure: plain=%d robust=%d\nplain:\n%s\nrobust:\n%s",
+			matPoints(p1), matPoints(p2), optimizer.Explain(p1, q), optimizer.Explain(p2, q))
+	}
+	if p2.Count(optimizer.OpMGJN) == 0 && p2.Count(optimizer.OpHSJN) > 0 {
+		t.Errorf("with a 3x handicap, hash joins should lose to merge joins:\n%s", optimizer.Explain(p2, q))
+	}
+}
+
+// TestUncertaintyPenaltyDuringReopt verifies the §7 uncertainty extension:
+// during re-optimization, unobserved estimates are inflated, steering the
+// new plan toward operators that are safe under larger cardinalities.
+func TestUncertaintyPenaltyDuringReopt(t *testing.T) {
+	cat := correlatedFixture(t)
+	q := correlatedQuery(t, cat)
+
+	// Without the penalty the re-optimized plan is chosen at face value.
+	base, err := NewRunner(cat, DefaultOptions()).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.UncertaintyPenalty = 2.0
+	res, err := NewRunner(cat, opts).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reopts == 0 {
+		t.Fatal("scenario should re-optimize")
+	}
+	// The results must agree and the run must stay in the same cost regime
+	// (the penalty may change the plan but must not break anything).
+	if len(res.Rows) != len(base.Rows) {
+		t.Errorf("row counts differ: %d vs %d", len(res.Rows), len(base.Rows))
+	}
+	if res.Work > base.Work*3 {
+		t.Errorf("uncertainty-penalized run is %.1fx the base run", res.Work/base.Work)
+	}
+	// The penalized re-optimization must not pick a plan that banks on a
+	// small unobserved cardinality: no index NLJN over unobserved edges.
+	final := res.Attempts[len(res.Attempts)-1]
+	if strings.Contains(final.Explain, "NLJN[index]") {
+		t.Logf("note: penalized plan still uses index NLJN:\n%s", final.Explain)
+	}
+}
+
+// TestECWCPlacementAndFiring covers the fourth flavor end to end: an eager
+// check pushed below a SORT materialization point fires *before* the
+// materialization completes. ECWC/ECDC are the liberal flavors the paper
+// places almost anywhere (§3.4), so the test uses threshold-style check
+// ranges rather than the validity-range gate.
+func TestECWCPlacementAndFiring(t *testing.T) {
+	cat := correlatedFixture(t)
+	q := correlatedQuery(t, cat)
+	opts := DefaultOptions()
+	opts.Policy = Policy{
+		ECWC:                 true,
+		RequireBoundedRange:  false,
+		FixedThresholdFactor: 4, // fire when actual > 4x the estimate
+	}
+	opts.Configure = func(o *optimizer.Optimizer) {
+		// Force sort-merge plans so SORT materialization points exist for
+		// ECWC to push below.
+		o.DisableHSJN = true
+		o.DisableIndexJoin = true
+	}
+	res, err := NewRunner(cat, opts).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reopts == 0 {
+		t.Fatalf("ECWC should have fired:\n%s", res.Attempts[0].Explain)
+	}
+	v := res.Attempts[0].Violation
+	if v.Check.Flavor != optimizer.ECWC {
+		t.Fatalf("violating flavor = %s, want ECWC", v.Check.Flavor)
+	}
+	if v.Exact {
+		t.Error("ECWC fires mid-stream, before the materialization completes")
+	}
+	if v.Actual >= 8000 {
+		t.Errorf("ECWC fired only at %v rows; it should react before the full 8000", v.Actual)
+	}
+	off, err := NewRunner(cat, Options{Enabled: false}).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(off.Rows) {
+		t.Errorf("ECWC run rows = %d, baseline = %d", len(res.Rows), len(off.Rows))
+	}
+}
+
+// TestSuccessiveReoptimizations builds a query with two independent
+// correlated estimation errors — one on LINEITEM, one on ORDERS. The runner
+// must survive however many oscillations the errors cause (paper §2:
+// "alternating optimization and execution steps can occur any number of
+// times") and still return the exact result. Note that the second error need
+// not trigger a second re-optimization: after the first correction the
+// orders-side under-estimate no longer makes the plan suboptimal, and the
+// conservative validity ranges rightly leave it alone.
+func TestSuccessiveReoptimizations(t *testing.T) {
+	cat := correlatedFixture(t)
+	b := logical.NewBuilder(cat)
+	b.AddTable("lineitem", "l")
+	b.AddTable("orders", "o")
+	b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("l", "l_order"), R: b.Col("o", "o_id")})
+	two := &expr.Const{Val: types.NewInt(2)}
+	b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("l", "l_c1"), R: two})
+	b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("l", "l_c2"), R: two})
+	b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("l", "l_c3"), R: two})
+	b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("o", "o_c1"), R: two})
+	b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("o", "o_c2"), R: two})
+	b.SelectCol("l", "l_qty")
+	b.SelectCol("o", "o_cust")
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewRunner(cat, DefaultOptions()).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := NewRunner(cat, Options{Enabled: false}).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(off.Rows) {
+		t.Fatalf("rows differ: POP %d vs baseline %d", len(res.Rows), len(off.Rows))
+	}
+	t.Logf("reopts=%d", res.Reopts)
+	if res.Reopts < 1 {
+		t.Fatalf("double-error query should re-optimize at least once:\n%s", res.Attempts[0].Explain)
+	}
+	// Every attempt but the last must carry a violation, each from a
+	// different signature (a different mis-estimated edge).
+	sigs := map[string]bool{}
+	for _, a := range res.Attempts[:len(res.Attempts)-1] {
+		if a.Violation == nil {
+			t.Fatal("non-final attempt without violation")
+		}
+		sigs[a.Violation.Check.Signature] = true
+	}
+	if len(sigs) != res.Reopts {
+		t.Errorf("expected %d distinct violated edges, got %d", res.Reopts, len(sigs))
+	}
+}
+
+// TestReuseHashBuilds exercises the §4 enhancement on a two-level hash
+// plan: the top join builds on (lineitem ⋈ orders), whose cardinality is
+// under-estimated 25x; the LC check on that build edge fires after the
+// *lower* join's build (lineitem) completed. With ReuseHashBuilds on, that
+// completed build is promoted to a temp MV and the re-optimized plan scans
+// it instead of re-filtering lineitem.
+func TestReuseHashBuilds(t *testing.T) {
+	cat := correlatedFixture(t)
+	cust, err := cat.CreateTable("cust", schema.New(
+		schema.Column{Name: "c_id", Type: types.KindInt},
+		schema.Column{Name: "c_name", Type: types.KindString},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		cust.Heap.MustInsert(schema.Row{types.NewInt(int64(i)), types.NewString("c")})
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	build := func(t *testing.T) *logical.Query {
+		b := logical.NewBuilder(cat)
+		b.AddTable("lineitem", "l")
+		b.AddTable("orders", "o")
+		b.AddTable("cust", "c")
+		b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("l", "l_order"), R: b.Col("o", "o_id")})
+		b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("o", "o_cust"), R: b.Col("c", "c_id")})
+		two := &expr.Const{Val: types.NewInt(2)}
+		b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("l", "l_c1"), R: two})
+		b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("l", "l_c2"), R: two})
+		b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("l", "l_c3"), R: two})
+		b.SelectCol("l", "l_qty")
+		b.SelectCol("c", "c_name")
+		q, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	q := build(t)
+	mkOpts := func(reuse bool) Options {
+		return Options{
+			Enabled:         true,
+			MaxReopts:       3,
+			ReuseHashBuilds: reuse,
+			Policy:          Policy{LC: true, RequireBoundedRange: true},
+			Configure: func(o *optimizer.Optimizer) {
+				o.DisableNLJN = true
+				o.DisableMGJN = true
+			},
+		}
+	}
+	with, err := NewRunner(cat, mkOpts(true)).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Reopts == 0 {
+		t.Fatalf("scenario should re-optimize:\n%s", with.Attempts[0].Explain)
+	}
+	reused := false
+	for _, a := range with.Attempts[1:] {
+		if strings.Contains(a.Explain, "MVSCAN") {
+			reused = true
+		}
+	}
+	if !reused {
+		t.Errorf("hash build should be reused as an MV:\n%s", with.Attempts[len(with.Attempts)-1].Explain)
+	}
+	without, err := NewRunner(cat, mkOpts(false)).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.Rows) != len(without.Rows) {
+		t.Errorf("row counts differ: %d vs %d", len(with.Rows), len(without.Rows))
+	}
+	if with.Work >= without.Work {
+		t.Errorf("build reuse (%v) should beat recomputation (%v)", with.Work, without.Work)
+	}
+}

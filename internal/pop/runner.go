@@ -1,0 +1,339 @@
+package pop
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// Options configures a POP run.
+type Options struct {
+	// Enabled turns progressive optimization on. When false, the query runs
+	// its initial plan to completion, however bad.
+	Enabled bool
+	// Policy selects checkpoint flavors and placement constraints.
+	Policy Policy
+	// MaxReopts bounds the optimization↔execution oscillation; the final
+	// attempt runs without checkpoints to guarantee termination (paper §7).
+	MaxReopts int
+	// Pipelined streams partial results to the application before a
+	// violation can occur. The runner then wires ECDC compensation: rows
+	// already returned are recorded in a rid side-table and the re-optimized
+	// plan is anti-joined against it so no duplicates are returned.
+	Pipelined bool
+	// Configure customizes each optimizer instance (experiment knobs).
+	Configure func(*optimizer.Optimizer)
+	// SharedFeedback, when non-nil, is used instead of a per-statement
+	// feedback cache and is retained across Run calls — the LEO-style
+	// "learning for the future" extension (paper §7, [SLM+01]): actual
+	// cardinalities observed while re-optimizing one execution improve the
+	// initial plan of the next.
+	SharedFeedback *stats.Feedback
+	// UncertaintyPenalty, when > 1, is applied during re-optimizations:
+	// estimates not backed by observed cardinalities are inflated by this
+	// factor (paper §7 "Considering Uncertainty during Re-optimization").
+	UncertaintyPenalty float64
+	// ReuseHashBuilds promotes completed hash-join builds to temporary
+	// materialized views alongside SORT/TEMP results — the further
+	// intermediate-result reuse the paper's §4 plans as an enhancement
+	// ("we ... plan to enhance our prototype to reuse further intermediate
+	// results in order to make re-optimization even more efficient").
+	ReuseHashBuilds bool
+}
+
+// DefaultOptions is POP as the paper's prototype defaults: enabled, LC+LCEM,
+// at most three re-optimizations, non-pipelined.
+func DefaultOptions() Options {
+	return Options{Enabled: true, Policy: DefaultPolicy(), MaxReopts: 3}
+}
+
+// AttemptInfo records one optimization→execution round.
+type AttemptInfo struct {
+	Plan       *optimizer.Plan
+	Explain    string
+	Checks     int
+	WorkBefore float64 // meter reading when the attempt started
+	Violation  *executor.CheckViolation
+	MVsCreated int
+	FeedbackN  int
+	// RowsReturned counts rows this attempt streamed to the application
+	// (pipelined mode).
+	RowsReturned int
+}
+
+// Result is the outcome of a POP run.
+type Result struct {
+	Rows     []schema.Row
+	Work     float64 // total simulated work units across all attempts
+	Reopts   int     // number of re-optimizations triggered
+	Attempts []AttemptInfo
+	// CheckStats carries the runtime stats of every CHECK node from the last
+	// fully executed attempt (for the opportunity analysis).
+	CheckStats []CheckObservation
+}
+
+// CheckObservation is one checkpoint's runtime timing.
+type CheckObservation struct {
+	Meta      *optimizer.CheckMeta
+	FirstWork float64
+	DoneWork  float64
+	RowsSeen  float64
+	Touched   bool
+}
+
+// Runner executes queries with progressive re-optimization.
+type Runner struct {
+	Cat  *catalog.Catalog
+	Opts Options
+}
+
+// NewRunner returns a runner over the catalog with the given options.
+func NewRunner(cat *catalog.Catalog, opts Options) *Runner {
+	if opts.MaxReopts <= 0 {
+		opts.MaxReopts = 3
+	}
+	return &Runner{Cat: cat, Opts: opts}
+}
+
+func (r *Runner) newOptimizer(fb *stats.Feedback) *optimizer.Optimizer {
+	opt := optimizer.New(r.Cat)
+	opt.Feedback = fb
+	if r.Opts.Configure != nil {
+		r.Opts.Configure(opt)
+	}
+	return opt
+}
+
+// statementCounter allocates distinct temp-MV namespaces so concurrent
+// statements sharing a catalog never observe each other's intermediates.
+var statementCounter atomic.Uint64
+
+// Run compiles and executes the query, re-optimizing on CHECK violations.
+func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
+	fb := r.Opts.SharedFeedback
+	if fb == nil {
+		fb = stats.NewFeedback()
+	}
+	meter := &executor.Meter{}
+	side := executor.NewReturnedSet()
+	res := &Result{}
+	pol := r.Opts.Policy
+	if pol.GuardSpill && pol.MemoryBytes == 0 {
+		// Fill the spill-guard budget from the cost model's memory budget.
+		probe := r.newOptimizer(fb)
+		pol.MemoryBytes = probe.Model.Params.MemoryBytes
+	}
+	ns := fmt.Sprintf("stmt%d/", statementCounter.Add(1))
+	// Paper Fig. 1: clean up this statement's temp MVs at statement end.
+	defer r.Cat.DropViewsPrefixed(ns)
+
+	for attempt := 0; ; attempt++ {
+		opt := r.newOptimizer(fb)
+		opt.MVNamespace = ns
+		if attempt > 0 && r.Opts.UncertaintyPenalty > 1 {
+			opt.UncertaintyPenalty = r.Opts.UncertaintyPenalty
+		}
+		if attempt == r.Opts.MaxReopts {
+			// Termination heuristic (§7): on the last permitted attempt,
+			// force reuse of the intermediate results so progress is made.
+			opt.ForceMVReuse = true
+		}
+		plan, err := opt.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		checks := 0
+		final := !r.Opts.Enabled || attempt >= r.Opts.MaxReopts
+		if !final {
+			plan, checks = Place(plan, q, pol)
+		}
+		info := AttemptInfo{
+			Plan:       plan,
+			Explain:    optimizer.Explain(plan, q),
+			Checks:     checks,
+			WorkBefore: meter.Work,
+		}
+
+		ex, err := executor.NewExecutor(r.Cat, q, params, opt.Model.Params, meter)
+		if err != nil {
+			return nil, err
+		}
+		root, err := ex.Build(plan)
+		if err != nil {
+			return nil, err
+		}
+		var emitted *executor.ReturnedSet
+		if r.Opts.Pipelined {
+			if attempt > 0 {
+				root = executor.NewAntiJoin(ex, root, side)
+			}
+			// Record this attempt's emissions separately: compensation must
+			// only apply to rows returned by *previous* attempts.
+			emitted = executor.NewReturnedSet()
+			root = executor.NewInsertRid(ex, root, emitted)
+		}
+
+		rows, runErr := executor.Run(root)
+		info.RowsReturned = len(rows)
+		if r.Opts.Pipelined {
+			// Rows produced before a violation were already returned to the
+			// application; keep them (compensation prevents duplicates).
+			res.Rows = append(res.Rows, rows...)
+			side.Merge(emitted)
+		}
+
+		var cv *executor.CheckViolation
+		if runErr != nil && !errors.As(runErr, &cv) {
+			root.Close()
+			return nil, runErr
+		}
+		if cv == nil {
+			// Completed.
+			if !r.Opts.Pipelined {
+				res.Rows = rows
+			}
+			res.CheckStats = collectCheckStats(root)
+			res.Attempts = append(res.Attempts, info)
+			res.Work = meter.Work
+			return res, nil
+		}
+
+		// CHECK violated: re-optimize.
+		info.Violation = cv
+		info.MVsCreated, info.FeedbackN = r.harvest(root, q, fb, cv, ns)
+		res.Attempts = append(res.Attempts, info)
+		res.Reopts++
+		root.Close()
+		// Charge the optimizer re-invocation (context switch, Fig. 12 gap).
+		meter.Add(opt.Model.Params.ReoptInvoke)
+		// A forced dummy failure applies to the initial attempt only.
+		pol.FailCheckIDs = nil
+
+		if attempt >= r.Opts.MaxReopts {
+			return nil, fmt.Errorf("pop: re-optimization limit exceeded (%d attempts): %w",
+				attempt+1, cv)
+		}
+	}
+}
+
+// harvest implements the two feedback channels of a violation (paper §2):
+// actual cardinalities observed so far are recorded in the feedback cache,
+// and completed materializations are promoted to temporary materialized
+// views with exact cardinalities.
+func (r *Runner) harvest(root executor.Node, q *logical.Query, fb *stats.Feedback, cv *executor.CheckViolation, ns string) (mvs, fbn int) {
+	// The violated checkpoint's observation: for eager checks this is a
+	// lower bound, which still guarantees a plan change because the bound
+	// already exceeds the validity range (paper §3.4).
+	fb.Record(cv.Check.Signature, cv.Actual)
+	fbn++
+
+	// Walk with a "whole stream" flag: a node under the inner side of an
+	// NLJN is re-scanned (naive) or probed (index), so its RowsOut counter
+	// does not equal its subtree's logical cardinality and must not feed
+	// the cache.
+	var visit func(n executor.Node, whole bool)
+	visit = func(n executor.Node, whole bool) {
+		p := n.Plan()
+		st := n.Stats()
+		if p.Tables() != 0 {
+			sig := optimizer.Signature(q, p.Tables())
+			if whole && st.Done && countsObservable(p.Op) {
+				fb.Record(sig, st.RowsOut)
+				fbn++
+			}
+			// Completed materializations become temp MVs. SORT/TEMP always
+			// (like the paper's prototype); hash-join builds additionally
+			// when Options.ReuseHashBuilds enables the §4 enhancement
+			// (handled below).
+			if m, ok := n.(executor.Materializer); ok && whole &&
+				(p.Op == optimizer.OpSort || p.Op == optimizer.OpTemp) {
+				if rows, done := m.Materialized(); done {
+					fb.Record(sig, float64(len(rows)))
+					fbn++
+					mv := &catalog.MatView{
+						Signature: ns + sig,
+						Cols:      append([]int(nil), p.Cols...),
+						Rows:      rows,
+						Card:      float64(len(rows)),
+					}
+					if p.Op == optimizer.OpSort && len(p.SortKeys) == 1 && !p.SortKeys[0].Desc {
+						mv.Sorted = true
+						mv.OrderedCol = p.SortKeys[0].Col
+					}
+					r.Cat.RegisterView(mv)
+					mvs++
+				}
+			}
+		}
+		// Optional §4 enhancement: promote a completed hash-join build. The
+		// retained rows include NULL-keyed ones the hash table drops, so the
+		// view is the build child's complete logical output.
+		if bm, ok := n.(executor.BuildMaterializer); ok && whole && r.Opts.ReuseHashBuilds {
+			if rows, ci, done := bm.BuildMaterialized(); done && ci < len(p.Children) {
+				child := p.Children[ci]
+				if child.Tables() != 0 && child.Op != optimizer.OpMVScan {
+					bsig := optimizer.Signature(q, child.Tables())
+					fb.Record(bsig, float64(len(rows)))
+					fbn++
+					r.Cat.RegisterView(&catalog.MatView{
+						Signature: ns + bsig,
+						Cols:      append([]int(nil), child.Cols...),
+						Rows:      rows,
+						Card:      float64(len(rows)),
+					})
+					mvs++
+				}
+			}
+		}
+		for i, c := range n.Children() {
+			childWhole := whole
+			if p.Op == optimizer.OpNLJN && i == 1 {
+				childWhole = false
+			}
+			visit(c, childWhole)
+		}
+	}
+	visit(root, true)
+	return mvs, fbn
+}
+
+// countsObservable reports whether an operator's RowsOut counter is a
+// trustworthy edge cardinality when the stream completed.
+func countsObservable(op optimizer.OpKind) bool {
+	switch op {
+	case optimizer.OpTableScan, optimizer.OpIndexScan, optimizer.OpHashLookup,
+		optimizer.OpNLJN, optimizer.OpHSJN, optimizer.OpMGJN,
+		optimizer.OpSort, optimizer.OpTemp:
+		return true
+	default:
+		return false
+	}
+}
+
+// collectCheckStats gathers checkpoint timings from an executed tree.
+func collectCheckStats(root executor.Node) []CheckObservation {
+	var out []CheckObservation
+	executor.Walk(root, func(n executor.Node) {
+		p := n.Plan()
+		if p.Op != optimizer.OpCheck || p.Check == nil {
+			return
+		}
+		st := n.Stats()
+		out = append(out, CheckObservation{
+			Meta:      p.Check,
+			FirstWork: st.FirstWork,
+			DoneWork:  st.DoneWork,
+			RowsSeen:  st.RowsOut,
+			Touched:   st.Touched,
+		})
+	})
+	return out
+}

@@ -1,0 +1,134 @@
+package pop
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// spillFixture: a probe table and a build table with two correlated columns,
+// so the build side is under-estimated enough to "fit in memory" at plan
+// time while actually exceeding it.
+func spillFixture(t *testing.T) (*catalog.Catalog, *logical.Query) {
+	t.Helper()
+	c := catalog.New()
+	probe, err := c.CreateTable("probe", schema.New(
+		schema.Column{Name: "p_key", Type: types.KindInt},
+		schema.Column{Name: "p_val", Type: types.KindInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9000; i++ {
+		probe.Heap.MustInsert(schema.Row{types.NewInt(int64(i % 3000)), types.NewInt(int64(i))})
+	}
+	build, err := c.CreateTable("build", schema.New(
+		schema.Column{Name: "b_key", Type: types.KindInt},
+		schema.Column{Name: "b_c1", Type: types.KindInt},
+		schema.Column{Name: "b_c2", Type: types.KindInt}, // == b_c1
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		bc := int64(i % 2) // 50% selectivity per predicate, perfectly correlated
+		build.Heap.MustInsert(schema.Row{types.NewInt(int64(i)), types.NewInt(bc), types.NewInt(bc)})
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	b := logical.NewBuilder(c)
+	b.AddTable("probe", "p")
+	b.AddTable("build", "bl")
+	b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("p", "p_key"), R: b.Col("bl", "b_key")})
+	one := &expr.Const{Val: types.NewInt(1)}
+	b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("bl", "b_c1"), R: one})
+	b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("bl", "b_c2"), R: one})
+	b.SelectCol("p", "p_val")
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, q
+}
+
+// TestSpillGuard verifies paper §3.3: with the guard, an under-estimated
+// hash-join build that would outgrow memory triggers re-optimization at the
+// spill boundary instead of staging.
+func TestSpillGuard(t *testing.T) {
+	cat, q := spillFixture(t)
+	// Build estimate: 3000 × 0.5² = 750 rows ≈ 27 KB; actual 1500 ≈ 54 KB.
+	// A 36 KB budget admits the estimate but not the actual.
+	const mem = 36_000
+	configure := func(o *optimizer.Optimizer) {
+		o.Model.Params.MemoryBytes = mem
+		o.DisableNLJN = true // isolate the hash join path
+		o.DisableMGJN = true
+	}
+
+	// Without the guard: the build spills (work includes staging charges).
+	plain, err := NewRunner(cat, Options{Enabled: false, Configure: configure}).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := Options{
+		Enabled:   true,
+		MaxReopts: 3,
+		Policy:    Policy{GuardSpill: true},
+		Configure: configure,
+	}
+	guarded, err := NewRunner(cat, opts).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.Reopts == 0 {
+		t.Fatalf("spill guard should fire:\n%s", guarded.Attempts[0].Explain)
+	}
+	v := guarded.Attempts[0].Violation
+	if v.Check.Flavor != optimizer.ECB {
+		t.Errorf("guard flavor = %s, want ECB", v.Check.Flavor)
+	}
+	wantBoundary := mem / (12 * 3) // 3 build columns
+	if v.Actual > float64(wantBoundary)+2 {
+		t.Errorf("guard fired at %v rows, should fire at the %d-row boundary", v.Actual, wantBoundary)
+	}
+	if len(guarded.Rows) != len(plain.Rows) {
+		t.Errorf("guarded run rows = %d, baseline = %d", len(guarded.Rows), len(plain.Rows))
+	}
+	// The re-optimized plan knows the build is big; whatever it picks, it
+	// must not be a same-direction in-memory fantasy. At minimum the run
+	// completes within a sane factor of the spilling baseline.
+	if guarded.Work > plain.Work*2 {
+		t.Errorf("guarded work %.0f vs spilling baseline %.0f", guarded.Work, plain.Work)
+	}
+}
+
+// TestSpillGuardQuietWhenEstimatesHold verifies the guard does not fire when
+// the build truly fits.
+func TestSpillGuardQuietWhenEstimatesHold(t *testing.T) {
+	cat, q := spillFixture(t)
+	configure := func(o *optimizer.Optimizer) {
+		o.Model.Params.MemoryBytes = 1 << 20 // roomy
+		o.DisableNLJN = true
+		o.DisableMGJN = true
+	}
+	opts := Options{
+		Enabled:   true,
+		MaxReopts: 3,
+		Policy:    Policy{GuardSpill: true},
+		Configure: configure,
+	}
+	res, err := NewRunner(cat, opts).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reopts != 0 {
+		t.Errorf("guard fired with a roomy budget (reopts=%d)", res.Reopts)
+	}
+}

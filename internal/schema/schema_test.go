@@ -1,0 +1,124 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func testSchema() *Schema {
+	return New(
+		Column{Name: "id", Type: types.KindInt},
+		Column{Name: "name", Type: types.KindString},
+		Column{Name: "score", Type: types.KindFloat, Nullable: true},
+	)
+}
+
+func TestOrdinal(t *testing.T) {
+	s := testSchema()
+	if s.Ordinal("id") != 0 || s.Ordinal("name") != 1 || s.Ordinal("score") != 2 {
+		t.Error("ordinal lookup failed")
+	}
+	if s.Ordinal("NAME") != 1 {
+		t.Error("ordinal lookup should be case-insensitive")
+	}
+	if s.Ordinal("missing") != -1 {
+		t.Error("missing column should return -1")
+	}
+}
+
+func TestLenAndCol(t *testing.T) {
+	s := testSchema()
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Col(1).Name != "name" {
+		t.Error("Col(1) wrong")
+	}
+}
+
+func TestRowWidth(t *testing.T) {
+	s := testSchema()
+	// 8 (int) + 16 (string) + 8 (float)
+	if w := s.RowWidth(); w != 32 {
+		t.Errorf("RowWidth = %d, want 32", w)
+	}
+	custom := New(Column{Name: "c", Type: types.KindString, Width: 100})
+	if w := custom.RowWidth(); w != 100 {
+		t.Errorf("custom width = %d, want 100", w)
+	}
+	empty := New()
+	if empty.RowWidth() <= 0 {
+		t.Error("empty schema must have positive width")
+	}
+}
+
+func TestDefaultWidths(t *testing.T) {
+	cases := map[types.Kind]int{
+		types.KindBool:   1,
+		types.KindInt:    8,
+		types.KindFloat:  8,
+		types.KindDate:   8,
+		types.KindString: 16,
+	}
+	for k, want := range cases {
+		c := Column{Name: "x", Type: k}
+		if got := c.DefaultWidth(); got != want {
+			t.Errorf("width(%v) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := New(Column{Name: "a", Type: types.KindInt})
+	b := New(Column{Name: "b", Type: types.KindString})
+	c := a.Concat(b)
+	if c.Len() != 2 || c.Col(0).Name != "a" || c.Col(1).Name != "b" {
+		t.Error("schema concat wrong")
+	}
+	// Originals untouched.
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Error("concat mutated inputs")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := testSchema()
+	p := s.Project([]int{2, 0})
+	if p.Len() != 2 || p.Col(0).Name != "score" || p.Col(1).Name != "id" {
+		t.Error("projection wrong")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := New(Column{Name: "a", Type: types.KindInt}, Column{Name: "b", Type: types.KindString})
+	want := "(a INTEGER, b VARCHAR)"
+	if got := s.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestRowCloneIndependence(t *testing.T) {
+	r := Row{types.NewInt(1), types.NewString("x")}
+	c := r.Clone()
+	c[0] = types.NewInt(99)
+	if r[0].Int() != 1 {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestRowConcat(t *testing.T) {
+	a := Row{types.NewInt(1)}
+	b := Row{types.NewString("x"), types.Null}
+	c := a.Concat(b)
+	if len(c) != 3 || c[0].Int() != 1 || c[1].Str() != "x" || !c[2].IsNull() {
+		t.Errorf("concat = %v", c)
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{types.NewInt(1), types.NewString("x"), types.Null}
+	if got := r.String(); got != "[1, 'x', NULL]" {
+		t.Errorf("Row.String = %q", got)
+	}
+}

@@ -1,0 +1,139 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func texts(toks []token) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.kind != tokEOF {
+			out = append(out, t.text)
+		}
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a.b, 42, 3.14 FROM t WHERE x <= 'it''s' AND y <> ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	want := []string{"select", "a", ".", "b", ",", "42", ",", "3.14", "from", "t",
+		"where", "x", "<=", "it's", "and", "y", "<>", "?"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lex("< <= > >= = <> != ( ) + - * / ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	want := []string{"<", "<=", ">", ">=", "=", "<>", "<>", "(", ")", "+", "-", "*", "/", ";"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexCaseFolding(t *testing.T) {
+	toks, err := lex("SeLeCt FrOm WhErE MyCol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:4] {
+		if tok.text != strings.ToLower(tok.text) {
+			t.Errorf("identifier %q not lowercased", tok.text)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := lex("'' 'plain' 'two''quotes'''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	want := []string{"", "plain", "two'quotes'"}
+	for i := range want {
+		if toks[i].kind != tokString || got[i] != want[i] {
+			t.Errorf("string %d = %q (kind %d), want %q", i, got[i], toks[i].kind, want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex("0 007 1.5 2.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	want := []string{"0", "007", "1.5", "2."}
+	for i := range want {
+		if toks[i].kind != tokNumber || got[i] != want[i] {
+			t.Errorf("number %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "a @ b", "x ! y", "`backtick`"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("expected lex error for %q", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lex("ab  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].pos != 0 || toks[1].pos != 4 {
+		t.Errorf("positions = %d, %d", toks[0].pos, toks[1].pos)
+	}
+	if toks[0].String() != "ab" {
+		t.Errorf("token String = %q", toks[0].String())
+	}
+	eof := toks[len(toks)-1]
+	if eof.String() != "<eof>" {
+		t.Errorf("EOF String = %q", eof.String())
+	}
+	str, _ := lex("'s'")
+	if str[0].String() != "'s'" {
+		t.Errorf("string token String = %q", str[0].String())
+	}
+}
+
+func TestLexKindsSanity(t *testing.T) {
+	toks, _ := lex("a 1 'x' ?")
+	want := []tokenKind{tokIdent, tokNumber, tokString, tokPunct, tokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("kind %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,592 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// Parse compiles a SQL text into a resolved logical query against the
+// catalog.
+func Parse(cat *catalog.Catalog, sql string) (*logical.Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{cat: cat, toks: toks}
+	return p.parseSelect()
+}
+
+type tableBinding struct {
+	alias string
+	sch   *schema.Schema
+}
+
+type parser struct {
+	cat    *catalog.Catalog
+	toks   []token
+	pos    int
+	b      *logical.Builder
+	tables []tableBinding
+	params int
+}
+
+func (p *parser) cur() token      { return p.toks[p.pos] }
+func (p *parser) advance()        { p.pos++ }
+func (p *parser) save() int       { return p.pos }
+func (p *parser) restore(pos int) { p.pos = pos }
+
+// isKeyword reports whether the current token is the given keyword.
+func (p *parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s, found %s", strings.ToUpper(kw), p.cur())
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.cur()
+	if t.kind == tokPunct && t.text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("sqlparse: expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+// reserved words that terminate clause parsing or cannot be aliases.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "order": true,
+	"by": true, "limit": true, "and": true, "or": true, "not": true, "as": true,
+	"in": true, "like": true, "between": true, "is": true, "null": true,
+	"asc": true, "desc": true, "date": true, "count": true, "sum": true,
+	"min": true, "max": true, "avg": true, "distinct": true,
+}
+
+// parseSelect parses the whole statement. The FROM clause is parsed before
+// the select list (two passes over the token range) so column references in
+// the select list can be resolved immediately.
+func (p *parser) parseSelect() (*logical.Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	distinct := p.acceptKeyword("distinct")
+	selStart := p.save()
+	// Skip to the top-level FROM.
+	depth := 0
+	for {
+		t := p.cur()
+		if t.kind == tokEOF {
+			return nil, fmt.Errorf("sqlparse: missing FROM clause")
+		}
+		if t.kind == tokPunct && t.text == "(" {
+			depth++
+		}
+		if t.kind == tokPunct && t.text == ")" {
+			depth--
+		}
+		if depth == 0 && t.kind == tokIdent && t.text == "from" {
+			break
+		}
+		p.advance()
+	}
+	selEnd := p.save() // position of FROM
+	p.advance()        // consume FROM
+
+	p.b = logical.NewBuilder(p.cat)
+	if distinct {
+		p.b.Distinct()
+	}
+	if err := p.parseFromList(); err != nil {
+		return nil, err
+	}
+	afterFrom := p.save()
+
+	// Go back and parse the select list with tables bound.
+	p.restore(selStart)
+	if err := p.parseSelectList(selEnd); err != nil {
+		return nil, err
+	}
+	p.restore(afterFrom)
+
+	if p.acceptKeyword("where") {
+		pred, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.b.Where(pred)
+	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			p.b.GroupBy(col)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			desc := false
+			if p.acceptKeyword("desc") {
+				desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			p.b.OrderBy(col, desc)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sqlparse: LIMIT expects a number, found %s", t)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlparse: bad LIMIT %q", t.text)
+		}
+		p.advance()
+		p.b.Limit(n)
+	}
+	p.acceptPunct(";")
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: unexpected trailing input at %s", t)
+	}
+	return p.b.Build()
+}
+
+func (p *parser) parseFromList() error {
+	for {
+		t := p.cur()
+		if t.kind != tokIdent || reserved[t.text] {
+			return fmt.Errorf("sqlparse: expected table name, found %s", t)
+		}
+		tableName := t.text
+		p.advance()
+		alias := tableName
+		if at := p.cur(); at.kind == tokIdent && !reserved[at.text] {
+			alias = at.text
+			p.advance()
+		}
+		if p.b.AddTable(tableName, alias) < 0 {
+			// Builder captured the error; force it out now for a clear
+			// message.
+			if _, err := p.b.Build(); err != nil {
+				return err
+			}
+		}
+		tab, err := p.cat.Table(tableName)
+		if err != nil {
+			return err
+		}
+		p.tables = append(p.tables, tableBinding{alias: alias, sch: tab.Schema})
+		if !p.acceptPunct(",") {
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseSelectList(end int) error {
+	for p.save() < end {
+		agg := logical.AggNone
+		if t := p.cur(); t.kind == tokIdent {
+			switch t.text {
+			case "count":
+				agg = logical.AggCount
+			case "sum":
+				agg = logical.AggSum
+			case "min":
+				agg = logical.AggMin
+			case "max":
+				agg = logical.AggMax
+			case "avg":
+				agg = logical.AggAvg
+			}
+		}
+		var item expr.Expr
+		name := ""
+		if agg != logical.AggNone {
+			aggName := p.cur().text
+			p.advance()
+			if err := p.expectPunct("("); err != nil {
+				return err
+			}
+			if agg == logical.AggCount && p.acceptPunct("*") {
+				item = nil
+			} else {
+				e, err := p.parseAddExpr()
+				if err != nil {
+					return err
+				}
+				item = e
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+			name = aggName
+		} else {
+			e, err := p.parseAddExpr()
+			if err != nil {
+				return err
+			}
+			item = e
+			if c, ok := e.(*expr.ColRef); ok {
+				name = c.Name
+			}
+		}
+		if p.acceptKeyword("as") {
+			t := p.cur()
+			if t.kind != tokIdent {
+				return fmt.Errorf("sqlparse: expected alias after AS, found %s", t)
+			}
+			name = t.text
+			p.advance()
+		}
+		if agg != logical.AggNone {
+			p.b.SelectAgg(agg, item, name)
+		} else {
+			p.b.SelectExpr(item, name)
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return nil
+}
+
+// parseColumnRef parses alias.col or a bare column resolved across tables.
+func (p *parser) parseColumnRef() (*expr.ColRef, error) {
+	t := p.cur()
+	if t.kind != tokIdent || reserved[t.text] {
+		return nil, fmt.Errorf("sqlparse: expected column reference, found %s", t)
+	}
+	first := t.text
+	p.advance()
+	if p.acceptPunct(".") {
+		t2 := p.cur()
+		if t2.kind != tokIdent {
+			return nil, fmt.Errorf("sqlparse: expected column after %q., found %s", first, t2)
+		}
+		p.advance()
+		return p.b.Col(first, t2.text), nil
+	}
+	// Bare column: must be unambiguous across the FROM tables.
+	matches := 0
+	owner := ""
+	for _, tb := range p.tables {
+		if tb.sch.Ordinal(first) >= 0 {
+			matches++
+			owner = tb.alias
+		}
+	}
+	switch matches {
+	case 0:
+		return nil, fmt.Errorf("sqlparse: unknown column %q", first)
+	case 1:
+		return p.b.Col(owner, first), nil
+	default:
+		return nil, fmt.Errorf("sqlparse: ambiguous column %q", first)
+	}
+}
+
+func (p *parser) parseOrExpr() (expr.Expr, error) {
+	left, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	args := []expr.Expr{left}
+	for p.acceptKeyword("or") {
+		right, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, right)
+	}
+	if len(args) == 1 {
+		return left, nil
+	}
+	return &expr.Logic{Op: expr.Or, Args: args}, nil
+}
+
+func (p *parser) parseAndExpr() (expr.Expr, error) {
+	left, err := p.parseNotExpr()
+	if err != nil {
+		return nil, err
+	}
+	args := []expr.Expr{left}
+	for p.acceptKeyword("and") {
+		right, err := p.parseNotExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, right)
+	}
+	if len(args) == 1 {
+		return left, nil
+	}
+	return &expr.Logic{Op: expr.And, Args: args}, nil
+}
+
+func (p *parser) parseNotExpr() (expr.Expr, error) {
+	if p.acceptKeyword("not") {
+		inner, err := p.parseNotExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Not{E: inner}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (expr.Expr, error) {
+	left, err := p.parseAddExpr()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("is") {
+		negate := p.acceptKeyword("not")
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{E: left, Negate: negate}, nil
+	}
+	// [NOT] LIKE / IN / BETWEEN
+	negate := false
+	if p.isKeyword("not") {
+		// Only treat as predicate negation if followed by LIKE/IN/BETWEEN.
+		save := p.save()
+		p.advance()
+		if p.isKeyword("like") || p.isKeyword("in") || p.isKeyword("between") {
+			negate = true
+		} else {
+			p.restore(save)
+		}
+	}
+	switch {
+	case p.acceptKeyword("like"):
+		t := p.cur()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("sqlparse: LIKE expects a string pattern, found %s", t)
+		}
+		p.advance()
+		return expr.NewLike(left, t.text, negate), nil
+	case p.acceptKeyword("in"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var list []expr.Expr
+		for {
+			e, err := p.parseAddExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		var in expr.Expr = &expr.InList{Input: left, List: list}
+		if negate {
+			in = &expr.Not{E: in}
+		}
+		return in, nil
+	case p.acceptKeyword("between"):
+		lo, err := p.parseAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		var between expr.Expr = &expr.Logic{Op: expr.And, Args: []expr.Expr{
+			&expr.Cmp{Op: expr.GE, L: left, R: lo},
+			&expr.Cmp{Op: expr.LE, L: left, R: hi},
+		}}
+		if negate {
+			between = &expr.Not{E: between}
+		}
+		return between, nil
+	}
+	// Comparison.
+	ops := map[string]expr.CmpOp{
+		"=": expr.EQ, "<>": expr.NE, "<": expr.LT, "<=": expr.LE,
+		">": expr.GT, ">=": expr.GE,
+	}
+	t := p.cur()
+	if t.kind == tokPunct {
+		if op, ok := ops[t.text]; ok {
+			p.advance()
+			right, err := p.parseAddExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &expr.Cmp{Op: op, L: left, R: right}, nil
+		}
+	}
+	// A bare expression (e.g. inside parentheses) is returned as-is.
+	return left, nil
+}
+
+func (p *parser) parseAddExpr() (expr.Expr, error) {
+	left, err := p.parseMulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptPunct("+"):
+			right, err := p.parseMulExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &expr.Arith{Op: expr.Add, L: left, R: right}
+		case p.acceptPunct("-"):
+			right, err := p.parseMulExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &expr.Arith{Op: expr.Sub, L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMulExpr() (expr.Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptPunct("*"):
+			right, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &expr.Arith{Op: expr.Mul, L: left, R: right}
+		case p.acceptPunct("/"):
+			right, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &expr.Arith{Op: expr.Div, L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlparse: bad number %q", t.text)
+			}
+			return &expr.Const{Val: types.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: bad number %q", t.text)
+		}
+		return &expr.Const{Val: types.NewInt(i)}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &expr.Const{Val: types.NewString(t.text)}, nil
+	case t.kind == tokPunct && t.text == "?":
+		p.advance()
+		id := p.params
+		p.params++
+		return p.b.Param(id), nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		inner, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.kind == tokPunct && t.text == "-":
+		p.advance()
+		inner, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Arith{Op: expr.Sub, L: &expr.Const{Val: types.NewInt(0)}, R: inner}, nil
+	case t.kind == tokIdent && t.text == "date":
+		p.advance()
+		s := p.cur()
+		if s.kind != tokString {
+			return nil, fmt.Errorf("sqlparse: DATE expects a string literal, found %s", s)
+		}
+		p.advance()
+		d, err := time.Parse("2006-01-02", s.text)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: bad date %q", s.text)
+		}
+		return &expr.Const{Val: types.MakeDate(d.Year(), d.Month(), d.Day())}, nil
+	case t.kind == tokIdent && t.text == "null":
+		p.advance()
+		return &expr.Const{Val: types.Null}, nil
+	case t.kind == tokIdent && !reserved[t.text]:
+		return p.parseColumnRef()
+	default:
+		return nil, fmt.Errorf("sqlparse: unexpected token %s", t)
+	}
+}

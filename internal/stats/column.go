@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"sort"
+
+	"repro/internal/types"
+)
+
+// ValueFreq is one most-common-value entry.
+type ValueFreq struct {
+	Value types.Datum
+	Freq  float64 // fraction of non-NULL rows
+}
+
+// ColumnStats summarizes one column for the estimator.
+type ColumnStats struct {
+	RowCount     float64 // total rows including NULLs
+	NullFraction float64
+	Distinct     float64
+	Min, Max     types.Datum
+	Hist         *Histogram
+	MCV          []ValueFreq // descending by frequency
+}
+
+// DefaultMCVCount is the number of most-common values retained per column.
+const DefaultMCVCount = 10
+
+// BuildColumnStats computes full statistics for a column from its values
+// (NULLs included in the input; they are counted and excluded from the
+// histogram). The input slice is not preserved.
+func BuildColumnStats(values []types.Datum, buckets int) *ColumnStats {
+	cs := &ColumnStats{RowCount: float64(len(values)), Min: types.Null, Max: types.Null}
+	nonNull := values[:0]
+	nulls := 0
+	for _, v := range values {
+		if v.IsNull() {
+			nulls++
+		} else {
+			nonNull = append(nonNull, v)
+		}
+	}
+	if cs.RowCount > 0 {
+		cs.NullFraction = float64(nulls) / cs.RowCount
+	}
+	if len(nonNull) == 0 {
+		cs.Hist = &Histogram{Min: types.Null, Max: types.Null}
+		return cs
+	}
+	cs.Hist = BuildHistogram(nonNull, buckets) // sorts nonNull
+	cs.Min = cs.Hist.Min
+	cs.Max = cs.Hist.Max
+	cs.Distinct = cs.Hist.DistinctCount()
+
+	// MCVs: one pass over the sorted values.
+	type runEntry struct {
+		v types.Datum
+		n int
+	}
+	var runs []runEntry
+	for i := 0; i < len(nonNull); {
+		j := i + 1
+		for j < len(nonNull) && nonNull[j].MustCompare(nonNull[i]) == 0 {
+			j++
+		}
+		runs = append(runs, runEntry{nonNull[i], j - i})
+		i = j
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].n > runs[j].n })
+	k := DefaultMCVCount
+	if k > len(runs) {
+		k = len(runs)
+	}
+	for _, r := range runs[:k] {
+		if r.n <= 1 && len(runs) > k {
+			break // singletons are not "common"
+		}
+		cs.MCV = append(cs.MCV, ValueFreq{Value: r.v, Freq: float64(r.n) / float64(len(nonNull))})
+	}
+	return cs
+}
+
+// mcvFreq returns the MCV frequency for v, or (0,false) if v is not an MCV.
+func (cs *ColumnStats) mcvFreq(v types.Datum) (float64, bool) {
+	for _, m := range cs.MCV {
+		if c, err := m.Value.Compare(v); err == nil && c == 0 {
+			return m.Freq, true
+		}
+	}
+	return 0, false
+}
+
+// NonNullFraction returns 1 - NullFraction.
+func (cs *ColumnStats) NonNullFraction() float64 { return 1 - cs.NullFraction }
+
+// SelectivityEq estimates the fraction of ALL rows (NULLs included) equal
+// to v, preferring the MCV list over the histogram.
+func (cs *ColumnStats) SelectivityEq(v types.Datum) float64 {
+	if v.IsNull() {
+		return 0
+	}
+	nn := cs.NonNullFraction()
+	if nn <= 0 {
+		return 0
+	}
+	if f, ok := cs.mcvFreq(v); ok {
+		return f * nn
+	}
+	if cs.Hist != nil && cs.Hist.Total > 0 {
+		return cs.Hist.SelectivityEq(v) * nn
+	}
+	if cs.Distinct > 0 {
+		return nn / cs.Distinct
+	}
+	return DefaultEqSelectivity
+}
+
+// SelectivityRange estimates the fraction of all rows within (lo,hi).
+func (cs *ColumnStats) SelectivityRange(lo, hi *types.Datum, loInc, hiInc bool) float64 {
+	nn := cs.NonNullFraction()
+	if cs.Hist != nil && cs.Hist.Total > 0 {
+		return cs.Hist.SelectivityRange(lo, hi, loInc, hiInc) * nn
+	}
+	return DefaultRangeSelectivity
+}

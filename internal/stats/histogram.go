@@ -1,0 +1,223 @@
+// Package stats implements the statistics substrate of the optimizer:
+// equi-depth histograms, per-column statistics, selectivity estimation and
+// the cardinality-feedback cache that re-optimization feeds with actual
+// cardinalities.
+//
+// The estimator deliberately uses the textbook independence assumption when
+// combining predicate selectivities. That is not a shortcut — it reproduces
+// the estimation pathology (correlated predicates → severe under-estimates)
+// that the paper's DMV case study exploits and that POP exists to correct.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// DefaultBucketCount is the number of equi-depth buckets built per column.
+const DefaultBucketCount = 32
+
+// Bucket is one equi-depth histogram bucket: all values v with
+// prevUpper < v <= Upper (the first bucket also includes its lower bound).
+type Bucket struct {
+	Upper    types.Datum
+	Count    float64 // rows in the bucket
+	Distinct float64 // distinct values in the bucket
+}
+
+// Histogram is an equi-depth histogram over the non-NULL values of a column.
+type Histogram struct {
+	Buckets []Bucket
+	Total   float64 // total non-NULL rows
+	Min     types.Datum
+	Max     types.Datum
+}
+
+// BuildHistogram constructs an equi-depth histogram with at most maxBuckets
+// buckets from the given values. The input slice is sorted in place.
+func BuildHistogram(values []types.Datum, maxBuckets int) *Histogram {
+	if maxBuckets <= 0 {
+		maxBuckets = DefaultBucketCount
+	}
+	if len(values) == 0 {
+		return &Histogram{Min: types.Null, Max: types.Null}
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i].MustCompare(values[j]) < 0 })
+	h := &Histogram{
+		Total: float64(len(values)),
+		Min:   values[0],
+		Max:   values[len(values)-1],
+	}
+	target := (len(values) + maxBuckets - 1) / maxBuckets
+	if target < 1 {
+		target = 1
+	}
+	// Walk runs of equal values. A run never straddles a bucket boundary, and
+	// a run at least as large as the target gets a bucket of its own, so
+	// heavy hitters keep an accurate per-value density (end-biased
+	// equi-depth). At most 2×maxBuckets buckets result.
+	bStart, bDistinct := 0, 0.0
+	flush := func(end int) {
+		if end > bStart {
+			h.Buckets = append(h.Buckets, Bucket{
+				Upper:    values[end-1],
+				Count:    float64(end - bStart),
+				Distinct: bDistinct,
+			})
+		}
+		bStart, bDistinct = end, 0
+	}
+	i := 0
+	for i < len(values) {
+		j := i + 1
+		for j < len(values) && values[j].MustCompare(values[i]) == 0 {
+			j++
+		}
+		runLen := j - i
+		if runLen >= target && i > bStart {
+			flush(i) // close the partial bucket before the heavy run
+		}
+		bDistinct++
+		if j-bStart >= target {
+			flush(j)
+		}
+		i = j
+	}
+	flush(len(values))
+	return h
+}
+
+// DistinctCount returns the estimated number of distinct values.
+func (h *Histogram) DistinctCount() float64 {
+	d := 0.0
+	for _, b := range h.Buckets {
+		d += b.Distinct
+	}
+	return d
+}
+
+// SelectivityEq estimates the fraction of non-NULL rows equal to v: the
+// containing bucket's density (count/distinct) over the total.
+func (h *Histogram) SelectivityEq(v types.Datum) float64 {
+	if h.Total == 0 || len(h.Buckets) == 0 || v.IsNull() {
+		return 0
+	}
+	if c, err := v.Compare(h.Min); err != nil || c < 0 {
+		return 0
+	}
+	if c, err := v.Compare(h.Max); err != nil || c > 0 {
+		return 0
+	}
+	b := h.bucketFor(v)
+	if b == nil || b.Distinct == 0 {
+		return 0
+	}
+	return (b.Count / b.Distinct) / h.Total
+}
+
+// SelectivityLT estimates the fraction of non-NULL rows with value < v
+// (or <= v when inclusive). Within the boundary bucket the estimate
+// interpolates linearly on SortValue.
+func (h *Histogram) SelectivityLT(v types.Datum, inclusive bool) float64 {
+	if h.Total == 0 || len(h.Buckets) == 0 || v.IsNull() {
+		return 0
+	}
+	if c, err := v.Compare(h.Min); err != nil {
+		return 0.5 // incomparable: shrug
+	} else if c < 0 || (c == 0 && !inclusive) {
+		return 0
+	}
+	if c, _ := v.Compare(h.Max); c > 0 || (c == 0 && inclusive) {
+		return 1
+	}
+	acc := 0.0
+	lower := h.Min
+	for _, b := range h.Buckets {
+		c := v.MustCompare(b.Upper)
+		if c > 0 {
+			acc += b.Count
+			lower = b.Upper
+			continue
+		}
+		if c == 0 {
+			// v is exactly the bucket's upper bound: the whole bucket is
+			// <= v; for a strict comparison exclude the = v sliver (the
+			// entire bucket, when it holds a single heavy value).
+			if inclusive {
+				acc += b.Count
+			} else if b.Distinct > 0 {
+				acc += b.Count - b.Count/b.Distinct
+			}
+			break
+		}
+		// v falls strictly inside this bucket: interpolate.
+		lo, hi := lower.SortValue(), b.Upper.SortValue()
+		frac := 0.5
+		if hi > lo {
+			frac = (v.SortValue() - lo) / (hi - lo)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		acc += b.Count * frac
+		if inclusive && b.Distinct > 0 {
+			acc += b.Count / b.Distinct // include the = v sliver
+		}
+		break
+	}
+	s := acc / h.Total
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// SelectivityRange estimates the fraction of rows in (lo,hi) with the given
+// inclusivities; nil bounds are unbounded.
+func (h *Histogram) SelectivityRange(lo, hi *types.Datum, loInc, hiInc bool) float64 {
+	upper := 1.0
+	if hi != nil {
+		upper = h.SelectivityLT(*hi, hiInc)
+	}
+	lower := 0.0
+	if lo != nil {
+		lower = h.SelectivityLT(*lo, !loInc)
+	}
+	s := upper - lower
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+func (h *Histogram) bucketFor(v types.Datum) *Bucket {
+	lo, hi := 0, len(h.Buckets)
+	for lo < hi {
+		m := (lo + hi) / 2
+		if h.Buckets[m].Upper.MustCompare(v) < 0 {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if lo >= len(h.Buckets) {
+		return nil
+	}
+	return &h.Buckets[lo]
+}
+
+// String renders a compact summary for EXPLAIN output.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist{n=%.0f buckets=%d min=%s max=%s}", h.Total, len(h.Buckets), h.Min, h.Max)
+	return b.String()
+}

@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Default selectivities applied when a predicate cannot be estimated from
+// statistics — unknown columns, parameter markers, fuzzy LIKEs. These mirror
+// the classic Selinger-style defaults; parameter markers falling back to
+// DefaultEqSelectivity is precisely the scenario of the paper's Figure 11.
+const (
+	DefaultEqSelectivity    = 0.04
+	DefaultRangeSelectivity = 0.05
+	DefaultLikePrefixSel    = 0.05
+	DefaultLikeFuzzySel     = 0.10
+	DefaultJoinSelectivity  = 0.01
+)
+
+// Lookup resolves a column position (query-global id at the logical level)
+// to its statistics, or nil when unknown.
+type Lookup func(pos int) *ColumnStats
+
+// Selectivity estimates the fraction of rows satisfying the predicate.
+// Conjuncts combine under the independence assumption; disjuncts use
+// inclusion–exclusion. The result is clamped to [1e-9, 1].
+func Selectivity(e expr.Expr, lookup Lookup) float64 {
+	return clampSel(selectivity(e, lookup))
+}
+
+func clampSel(s float64) float64 {
+	if s < 1e-9 {
+		return 1e-9
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func selectivity(e expr.Expr, lookup Lookup) float64 {
+	switch n := e.(type) {
+	case *expr.Logic:
+		if n.Op == expr.And {
+			s := 1.0
+			for _, a := range n.Args {
+				s *= selectivity(a, lookup) // independence assumption
+			}
+			return s
+		}
+		// OR via inclusion-exclusion, pairwise-independent.
+		s := 0.0
+		for _, a := range n.Args {
+			sa := selectivity(a, lookup)
+			s = s + sa - s*sa
+		}
+		return s
+	case *expr.Not:
+		return 1 - selectivity(n.E, lookup)
+	case *expr.Cmp:
+		return cmpSelectivity(n, lookup)
+	case *expr.Like:
+		s := likeSelectivity(n, lookup)
+		if n.Negate {
+			return 1 - s
+		}
+		return s
+	case *expr.InList:
+		return inListSelectivity(n, lookup)
+	case *expr.IsNull:
+		if col, ok := n.E.(*expr.ColRef); ok {
+			if cs := lookup(col.Pos); cs != nil {
+				if n.Negate {
+					return cs.NonNullFraction()
+				}
+				return cs.NullFraction
+			}
+		}
+		if n.Negate {
+			return 0.9
+		}
+		return 0.1
+	case *expr.Const:
+		if n.Val.Kind() == types.KindBool {
+			if n.Val.Bool() {
+				return 1
+			}
+			return 0
+		}
+		return 1
+	default:
+		return DefaultRangeSelectivity
+	}
+}
+
+// cmpSelectivity handles col-vs-constant, col-vs-param and col-vs-col.
+func cmpSelectivity(c *expr.Cmp, lookup Lookup) float64 {
+	col, constant, op, ok := normalizeCmp(c)
+	if !ok {
+		// col = col (a local or join predicate), or expression comparison.
+		if _, _, isEqui := expr.EquiJoinColumns(c); isEqui {
+			return equiColSelectivity(c, lookup)
+		}
+		if c.Op == expr.EQ {
+			return DefaultEqSelectivity
+		}
+		return DefaultRangeSelectivity
+	}
+	cs := lookup(col.Pos)
+	if constant == nil || cs == nil {
+		// Parameter marker or unknown stats: defaults.
+		if op == expr.EQ {
+			return DefaultEqSelectivity
+		}
+		if op == expr.NE {
+			return 1 - DefaultEqSelectivity
+		}
+		return DefaultRangeSelectivity
+	}
+	v := *constant
+	switch op {
+	case expr.EQ:
+		return cs.SelectivityEq(v)
+	case expr.NE:
+		return cs.NonNullFraction() - cs.SelectivityEq(v)
+	case expr.LT:
+		return cs.SelectivityRange(nil, &v, false, false)
+	case expr.LE:
+		return cs.SelectivityRange(nil, &v, false, true)
+	case expr.GT:
+		return cs.SelectivityRange(&v, nil, false, false)
+	case expr.GE:
+		return cs.SelectivityRange(&v, nil, true, false)
+	}
+	return DefaultRangeSelectivity
+}
+
+// normalizeCmp rewrites the comparison into col-op-constant orientation.
+// constant is nil when the non-column side is a parameter marker.
+func normalizeCmp(c *expr.Cmp) (col *expr.ColRef, constant *types.Datum, op expr.CmpOp, ok bool) {
+	if l, isCol := c.L.(*expr.ColRef); isCol {
+		switch r := c.R.(type) {
+		case *expr.Const:
+			return l, &r.Val, c.Op, true
+		case *expr.Param:
+			return l, nil, c.Op, true
+		}
+	}
+	if r, isCol := c.R.(*expr.ColRef); isCol {
+		switch l := c.L.(type) {
+		case *expr.Const:
+			return r, &l.Val, c.Op.Flip(), true
+		case *expr.Param:
+			return r, nil, c.Op.Flip(), true
+		}
+	}
+	return nil, nil, c.Op, false
+}
+
+// equiColSelectivity estimates colA = colB as 1/max(d_A, d_B) — the
+// classical containment-of-values join selectivity.
+func equiColSelectivity(c *expr.Cmp, lookup Lookup) float64 {
+	l, r, _ := expr.EquiJoinColumns(c)
+	dl, dr := 0.0, 0.0
+	if cs := lookup(l); cs != nil {
+		dl = cs.Distinct
+	}
+	if cs := lookup(r); cs != nil {
+		dr = cs.Distinct
+	}
+	d := dl
+	if dr > d {
+		d = dr
+	}
+	if d <= 0 {
+		return DefaultJoinSelectivity
+	}
+	return 1 / d
+}
+
+func likeSelectivity(l *expr.Like, lookup Lookup) float64 {
+	col, ok := l.Input.(*expr.ColRef)
+	hint := expr.LikeSelectivityHint(l.Pattern)
+	if ok {
+		if cs := lookup(col.Pos); cs != nil {
+			switch hint {
+			case "exact":
+				return cs.SelectivityEq(types.NewString(l.Pattern))
+			case "prefix":
+				// Treat the prefix as a range [prefix, prefix+0xFF).
+				p := l.Pattern[:len(l.Pattern)-1]
+				lo := types.NewString(p)
+				hi := types.NewString(p + "\xff")
+				return cs.SelectivityRange(&lo, &hi, true, false)
+			}
+			// Fuzzy patterns are unestimable from a histogram: coarse
+			// default — a deliberate estimation-error source (paper §6).
+			return DefaultLikeFuzzySel
+		}
+	}
+	switch hint {
+	case "exact":
+		return DefaultEqSelectivity
+	case "prefix":
+		return DefaultLikePrefixSel
+	default:
+		return DefaultLikeFuzzySel
+	}
+}
+
+func inListSelectivity(in *expr.InList, lookup Lookup) float64 {
+	col, ok := in.Input.(*expr.ColRef)
+	var cs *ColumnStats
+	if ok {
+		cs = lookup(col.Pos)
+	}
+	s := 0.0
+	for _, item := range in.List {
+		if c, isConst := item.(*expr.Const); isConst && cs != nil {
+			s += cs.SelectivityEq(c.Val)
+		} else if cs != nil && cs.Distinct > 0 {
+			s += cs.NonNullFraction() / cs.Distinct
+		} else {
+			s += DefaultEqSelectivity
+		}
+	}
+	return s
+}
+
+// JoinSelectivity estimates the selectivity of an equi-join on the given
+// column statistics (either may be nil): 1/max(distinct counts).
+func JoinSelectivity(left, right *ColumnStats) float64 {
+	d := 0.0
+	if left != nil && left.Distinct > d {
+		d = left.Distinct
+	}
+	if right != nil && right.Distinct > d {
+		d = right.Distinct
+	}
+	if d <= 0 {
+		return DefaultJoinSelectivity
+	}
+	return 1 / d
+}

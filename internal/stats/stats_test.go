@@ -1,0 +1,447 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+func intVals(vals ...int64) []types.Datum {
+	out := make([]types.Datum, len(vals))
+	for i, v := range vals {
+		out[i] = types.NewInt(v)
+	}
+	return out
+}
+
+func seqVals(n int) []types.Datum {
+	out := make([]types.Datum, n)
+	for i := range out {
+		out[i] = types.NewInt(int64(i))
+	}
+	return out
+}
+
+func TestBuildHistogramEmpty(t *testing.T) {
+	h := BuildHistogram(nil, 8)
+	if h.Total != 0 || len(h.Buckets) != 0 {
+		t.Error("empty histogram should have no buckets")
+	}
+	if h.SelectivityEq(types.NewInt(1)) != 0 {
+		t.Error("eq on empty should be 0")
+	}
+	if h.SelectivityLT(types.NewInt(1), true) != 0 {
+		t.Error("lt on empty should be 0")
+	}
+}
+
+func TestHistogramBucketInvariants(t *testing.T) {
+	h := BuildHistogram(seqVals(1000), 16)
+	if h.Total != 1000 {
+		t.Errorf("total = %v", h.Total)
+	}
+	if len(h.Buckets) == 0 || len(h.Buckets) > 17 {
+		t.Errorf("bucket count = %d", len(h.Buckets))
+	}
+	sum := 0.0
+	prev := types.Null
+	for i, b := range h.Buckets {
+		sum += b.Count
+		if i > 0 && b.Upper.MustCompare(prev) <= 0 {
+			t.Error("bucket uppers must strictly increase")
+		}
+		prev = b.Upper
+		if b.Distinct <= 0 || b.Distinct > b.Count {
+			t.Errorf("bucket %d distinct=%v count=%v", i, b.Distinct, b.Count)
+		}
+	}
+	if sum != h.Total {
+		t.Errorf("bucket counts sum to %v, want %v", sum, h.Total)
+	}
+	if h.Min.Int() != 0 || h.Max.Int() != 999 {
+		t.Errorf("min/max = %v/%v", h.Min, h.Max)
+	}
+	if d := h.DistinctCount(); math.Abs(d-1000) > 1 {
+		t.Errorf("distinct = %v, want ~1000", d)
+	}
+}
+
+func TestHistogramEqualValuesDoNotStraddle(t *testing.T) {
+	// 500 copies of one value plus scattered others.
+	vals := make([]types.Datum, 0, 600)
+	for i := 0; i < 500; i++ {
+		vals = append(vals, types.NewInt(42))
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, types.NewInt(int64(i)))
+	}
+	h := BuildHistogram(vals, 8)
+	// Eq selectivity for the heavy hitter should be near 500/600.
+	s := h.SelectivityEq(types.NewInt(42))
+	if s < 0.5 || s > 1 {
+		t.Errorf("heavy-hitter selectivity = %v, want ~0.83", s)
+	}
+}
+
+func TestHistogramSelectivityEq(t *testing.T) {
+	h := BuildHistogram(seqVals(1000), 16)
+	s := h.SelectivityEq(types.NewInt(500))
+	if s < 0.0005 || s > 0.005 {
+		t.Errorf("eq selectivity = %v, want ~0.001", s)
+	}
+	if h.SelectivityEq(types.NewInt(-5)) != 0 {
+		t.Error("below-min eq should be 0")
+	}
+	if h.SelectivityEq(types.NewInt(5000)) != 0 {
+		t.Error("above-max eq should be 0")
+	}
+	if h.SelectivityEq(types.Null) != 0 {
+		t.Error("NULL eq should be 0")
+	}
+}
+
+func TestHistogramSelectivityLT(t *testing.T) {
+	h := BuildHistogram(seqVals(1000), 16)
+	cases := []struct {
+		v        int64
+		expected float64
+		slack    float64
+	}{
+		{0, 0, 0.01},
+		{250, 0.25, 0.05},
+		{500, 0.5, 0.05},
+		{750, 0.75, 0.05},
+		{999, 1.0, 0.05},
+	}
+	for _, c := range cases {
+		got := h.SelectivityLT(types.NewInt(c.v), false)
+		if math.Abs(got-c.expected) > c.slack {
+			t.Errorf("sel(< %d) = %v, want %v±%v", c.v, got, c.expected, c.slack)
+		}
+	}
+	if h.SelectivityLT(types.NewInt(-1), true) != 0 {
+		t.Error("below min should be 0")
+	}
+	if h.SelectivityLT(types.NewInt(2000), true) != 1 {
+		t.Error("above max should be 1")
+	}
+	if h.SelectivityLT(types.NewInt(999), true) != 1 {
+		t.Error("<= max should be 1")
+	}
+}
+
+func TestHistogramSelectivityRange(t *testing.T) {
+	h := BuildHistogram(seqVals(1000), 16)
+	lo, hi := types.NewInt(200), types.NewInt(400)
+	s := h.SelectivityRange(&lo, &hi, true, false)
+	if math.Abs(s-0.2) > 0.05 {
+		t.Errorf("range [200,400) = %v, want ~0.2", s)
+	}
+	// Inverted range clamps to 0.
+	s = h.SelectivityRange(&hi, &lo, true, true)
+	if s != 0 {
+		t.Errorf("inverted range = %v", s)
+	}
+	// Unbounded both sides = 1.
+	if h.SelectivityRange(nil, nil, false, false) != 1 {
+		t.Error("unbounded range should be 1")
+	}
+}
+
+func TestBuildColumnStats(t *testing.T) {
+	vals := append(seqVals(90), make([]types.Datum, 10)...) // 10 NULLs
+	cs := BuildColumnStats(vals, 8)
+	if cs.RowCount != 100 {
+		t.Errorf("rowcount = %v", cs.RowCount)
+	}
+	if math.Abs(cs.NullFraction-0.1) > 1e-9 {
+		t.Errorf("null fraction = %v", cs.NullFraction)
+	}
+	if math.Abs(cs.Distinct-90) > 1 {
+		t.Errorf("distinct = %v", cs.Distinct)
+	}
+	if cs.Min.Int() != 0 || cs.Max.Int() != 89 {
+		t.Errorf("min/max = %v/%v", cs.Min, cs.Max)
+	}
+}
+
+func TestColumnStatsAllNull(t *testing.T) {
+	cs := BuildColumnStats(make([]types.Datum, 5), 8)
+	if cs.NullFraction != 1 {
+		t.Errorf("null fraction = %v", cs.NullFraction)
+	}
+	if s := cs.SelectivityEq(types.NewInt(1)); s != 0 {
+		t.Errorf("eq on all-null = %v", s)
+	}
+}
+
+func TestColumnStatsMCV(t *testing.T) {
+	vals := make([]types.Datum, 0, 1000)
+	for i := 0; i < 600; i++ {
+		vals = append(vals, types.NewString("RED"))
+	}
+	for i := 0; i < 300; i++ {
+		vals = append(vals, types.NewString("BLUE"))
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, types.NewString("GREEN"))
+	}
+	cs := BuildColumnStats(vals, 8)
+	if len(cs.MCV) < 3 {
+		t.Fatalf("MCV entries = %d", len(cs.MCV))
+	}
+	if cs.MCV[0].Value.Str() != "RED" || math.Abs(cs.MCV[0].Freq-0.6) > 0.01 {
+		t.Errorf("top MCV = %v", cs.MCV[0])
+	}
+	// Eq selectivity through MCV path.
+	if s := cs.SelectivityEq(types.NewString("RED")); math.Abs(s-0.6) > 0.01 {
+		t.Errorf("sel(RED) = %v", s)
+	}
+	if s := cs.SelectivityEq(types.NewString("BLUE")); math.Abs(s-0.3) > 0.01 {
+		t.Errorf("sel(BLUE) = %v", s)
+	}
+}
+
+func lookupFor(cs *ColumnStats) Lookup {
+	return func(pos int) *ColumnStats {
+		if pos == 0 {
+			return cs
+		}
+		return nil
+	}
+}
+
+func TestSelectivityComparison(t *testing.T) {
+	cs := BuildColumnStats(seqVals(1000), 16)
+	lk := lookupFor(cs)
+	col := &expr.ColRef{Pos: 0}
+
+	s := Selectivity(&expr.Cmp{Op: expr.LT, L: col, R: &expr.Const{Val: types.NewInt(100)}}, lk)
+	if math.Abs(s-0.1) > 0.05 {
+		t.Errorf("sel(col<100) = %v, want ~0.1", s)
+	}
+	// Constant-on-left flips the operator.
+	s2 := Selectivity(&expr.Cmp{Op: expr.GT, L: &expr.Const{Val: types.NewInt(100)}, R: col}, lk)
+	if math.Abs(s-s2) > 1e-9 {
+		t.Errorf("flipped comparison mismatch: %v vs %v", s, s2)
+	}
+	sEq := Selectivity(&expr.Cmp{Op: expr.EQ, L: col, R: &expr.Const{Val: types.NewInt(5)}}, lk)
+	if sEq > 0.01 {
+		t.Errorf("sel(col=5) = %v, want tiny", sEq)
+	}
+	sNe := Selectivity(&expr.Cmp{Op: expr.NE, L: col, R: &expr.Const{Val: types.NewInt(5)}}, lk)
+	if sNe < 0.9 {
+		t.Errorf("sel(col<>5) = %v, want ~1", sNe)
+	}
+	sGe := Selectivity(&expr.Cmp{Op: expr.GE, L: col, R: &expr.Const{Val: types.NewInt(900)}}, lk)
+	if math.Abs(sGe-0.1) > 0.05 {
+		t.Errorf("sel(col>=900) = %v, want ~0.1", sGe)
+	}
+	sLe := Selectivity(&expr.Cmp{Op: expr.LE, L: col, R: &expr.Const{Val: types.NewInt(99)}}, lk)
+	if math.Abs(sLe-0.1) > 0.05 {
+		t.Errorf("sel(col<=99) = %v, want ~0.1", sLe)
+	}
+}
+
+func TestSelectivityParamMarkerUsesDefault(t *testing.T) {
+	cs := BuildColumnStats(seqVals(1000), 16)
+	lk := lookupFor(cs)
+	col := &expr.ColRef{Pos: 0}
+	s := Selectivity(&expr.Cmp{Op: expr.EQ, L: col, R: &expr.Param{ID: 0}}, lk)
+	if s != DefaultEqSelectivity {
+		t.Errorf("param eq selectivity = %v, want default %v", s, DefaultEqSelectivity)
+	}
+	s = Selectivity(&expr.Cmp{Op: expr.LE, L: col, R: &expr.Param{ID: 0}}, lk)
+	if s != DefaultRangeSelectivity {
+		t.Errorf("param range selectivity = %v, want default %v", s, DefaultRangeSelectivity)
+	}
+}
+
+func TestSelectivityIndependenceAssumption(t *testing.T) {
+	cs := BuildColumnStats(seqVals(1000), 16)
+	lk := func(pos int) *ColumnStats { return cs }
+	p1 := &expr.Cmp{Op: expr.LT, L: &expr.ColRef{Pos: 0}, R: &expr.Const{Val: types.NewInt(100)}}
+	p2 := &expr.Cmp{Op: expr.LT, L: &expr.ColRef{Pos: 1}, R: &expr.Const{Val: types.NewInt(100)}}
+	sAnd := Selectivity(&expr.Logic{Op: expr.And, Args: []expr.Expr{p1, p2}}, lk)
+	s1 := Selectivity(p1, lk)
+	if math.Abs(sAnd-s1*s1) > 1e-9 {
+		t.Errorf("AND must multiply: %v vs %v", sAnd, s1*s1)
+	}
+	sOr := Selectivity(&expr.Logic{Op: expr.Or, Args: []expr.Expr{p1, p2}}, lk)
+	want := s1 + s1 - s1*s1
+	if math.Abs(sOr-want) > 1e-9 {
+		t.Errorf("OR inclusion-exclusion: %v vs %v", sOr, want)
+	}
+	sNot := Selectivity(&expr.Not{E: p1}, lk)
+	if math.Abs(sNot-(1-s1)) > 1e-9 {
+		t.Errorf("NOT: %v vs %v", sNot, 1-s1)
+	}
+}
+
+func TestSelectivityLike(t *testing.T) {
+	vals := []types.Datum{
+		types.NewString("apple"), types.NewString("apricot"), types.NewString("banana"),
+		types.NewString("cherry"), types.NewString("avocado"), types.NewString("blueberry"),
+		types.NewString("almond"), types.NewString("fig"), types.NewString("grape"), types.NewString("kiwi"),
+	}
+	cs := BuildColumnStats(vals, 4)
+	lk := lookupFor(cs)
+	col := &expr.ColRef{Pos: 0}
+
+	sPrefix := Selectivity(expr.NewLike(col, "a%", false), lk)
+	if math.Abs(sPrefix-0.4) > 0.25 {
+		t.Errorf("sel(LIKE 'a%%') = %v, want ~0.4", sPrefix)
+	}
+	sFuzzy := Selectivity(expr.NewLike(col, "%rr%", false), lk)
+	if sFuzzy != DefaultLikeFuzzySel {
+		t.Errorf("fuzzy LIKE = %v, want default", sFuzzy)
+	}
+	sNeg := Selectivity(expr.NewLike(col, "%rr%", true), lk)
+	if math.Abs(sNeg-(1-DefaultLikeFuzzySel)) > 1e-9 {
+		t.Errorf("NOT LIKE = %v", sNeg)
+	}
+	// No stats → pure defaults.
+	noLk := func(int) *ColumnStats { return nil }
+	if Selectivity(expr.NewLike(col, "a%", false), noLk) != DefaultLikePrefixSel {
+		t.Error("prefix default")
+	}
+	if Selectivity(expr.NewLike(col, "abc", false), noLk) != DefaultEqSelectivity {
+		t.Error("exact default")
+	}
+}
+
+func TestSelectivityInList(t *testing.T) {
+	cs := BuildColumnStats(seqVals(100), 8)
+	lk := lookupFor(cs)
+	col := &expr.ColRef{Pos: 0}
+	in := &expr.InList{Input: col, List: []expr.Expr{
+		&expr.Const{Val: types.NewInt(1)},
+		&expr.Const{Val: types.NewInt(2)},
+		&expr.Const{Val: types.NewInt(3)},
+	}}
+	s := Selectivity(in, lk)
+	if math.Abs(s-0.03) > 0.02 {
+		t.Errorf("sel(IN 3 values) = %v, want ~0.03", s)
+	}
+}
+
+func TestSelectivityIsNull(t *testing.T) {
+	vals := append(seqVals(80), make([]types.Datum, 20)...)
+	cs := BuildColumnStats(vals, 8)
+	lk := lookupFor(cs)
+	col := &expr.ColRef{Pos: 0}
+	if s := Selectivity(&expr.IsNull{E: col}, lk); math.Abs(s-0.2) > 1e-9 {
+		t.Errorf("IS NULL = %v, want 0.2", s)
+	}
+	if s := Selectivity(&expr.IsNull{E: col, Negate: true}, lk); math.Abs(s-0.8) > 1e-9 {
+		t.Errorf("IS NOT NULL = %v, want 0.8", s)
+	}
+}
+
+func TestSelectivityEquiColumns(t *testing.T) {
+	csA := BuildColumnStats(seqVals(100), 8)  // 100 distinct
+	csB := BuildColumnStats(seqVals(1000), 8) // 1000 distinct
+	lk := func(pos int) *ColumnStats {
+		if pos == 0 {
+			return csA
+		}
+		return csB
+	}
+	s := Selectivity(&expr.Cmp{Op: expr.EQ, L: &expr.ColRef{Pos: 0}, R: &expr.ColRef{Pos: 1}}, lk)
+	if math.Abs(s-0.001) > 1e-4 {
+		t.Errorf("equi-col selectivity = %v, want 1/1000", s)
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	csA := BuildColumnStats(seqVals(50), 8)
+	csB := BuildColumnStats(seqVals(500), 8)
+	if s := JoinSelectivity(csA, csB); math.Abs(s-1.0/500) > 1e-4 {
+		t.Errorf("join sel = %v", s)
+	}
+	if s := JoinSelectivity(nil, nil); s != DefaultJoinSelectivity {
+		t.Errorf("default join sel = %v", s)
+	}
+}
+
+func TestSelectivityClamping(t *testing.T) {
+	lk := func(int) *ColumnStats { return nil }
+	// Huge IN list would exceed 1 without clamping.
+	items := make([]expr.Expr, 100)
+	for i := range items {
+		items[i] = &expr.Const{Val: types.NewInt(int64(i))}
+	}
+	s := Selectivity(&expr.InList{Input: &expr.ColRef{Pos: 0}, List: items}, lk)
+	if s > 1 {
+		t.Errorf("selectivity must clamp to 1, got %v", s)
+	}
+	sTrue := Selectivity(&expr.Const{Val: types.NewBool(true)}, lk)
+	if sTrue != 1 {
+		t.Errorf("TRUE selectivity = %v", sTrue)
+	}
+	sFalse := Selectivity(&expr.Const{Val: types.NewBool(false)}, lk)
+	if sFalse > 1e-8 {
+		t.Errorf("FALSE selectivity = %v", sFalse)
+	}
+}
+
+func TestFeedbackCache(t *testing.T) {
+	f := NewFeedback()
+	if _, ok := f.Get("sig1"); ok {
+		t.Error("empty cache should miss")
+	}
+	f.Record("sig1", 123)
+	f.Record("sig2", 456)
+	if v, ok := f.Get("sig1"); !ok || v != 123 {
+		t.Errorf("get sig1 = %v %v", v, ok)
+	}
+	f.Record("sig1", 999) // overwrite
+	if v, _ := f.Get("sig1"); v != 999 {
+		t.Error("overwrite failed")
+	}
+	if f.Len() != 2 {
+		t.Errorf("len = %d", f.Len())
+	}
+	sigs := f.Signatures()
+	if len(sigs) != 2 || sigs[0] != "sig1" || sigs[1] != "sig2" {
+		t.Errorf("signatures = %v", sigs)
+	}
+	f.Clear()
+	if f.Len() != 0 {
+		t.Error("clear failed")
+	}
+}
+
+// Property: SelectivityLT is monotone non-decreasing in its argument.
+func TestSelectivityLTMonotoneProperty(t *testing.T) {
+	h := BuildHistogram(seqVals(500), 16)
+	f := func(a, b int16) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return h.SelectivityLT(types.NewInt(x), true) <= h.SelectivityLT(types.NewInt(y), true)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all selectivities are within [0,1] for random range predicates.
+func TestSelectivityBoundsProperty(t *testing.T) {
+	cs := BuildColumnStats(seqVals(300), 8)
+	lk := lookupFor(cs)
+	f := func(v int32, opIdx uint8) bool {
+		ops := []expr.CmpOp{expr.EQ, expr.NE, expr.LT, expr.LE, expr.GT, expr.GE}
+		op := ops[int(opIdx)%len(ops)]
+		e := &expr.Cmp{Op: op, L: &expr.ColRef{Pos: 0}, R: &expr.Const{Val: types.NewInt(int64(v))}}
+		s := Selectivity(e, lk)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package storage
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// HashIndex maps (possibly composite) key values to the RIDs of the rows that
+// contain them. It supports only equality lookups; range predicates need a
+// BTreeIndex. Hash collisions are resolved by re-checking key equality
+// against the heap, so lookups never return false positives.
+type HashIndex struct {
+	name    string
+	table   *Table
+	keyOrds []int
+	buckets map[uint64][]schema.RID
+}
+
+// NewHashIndex builds a hash index over the given key columns of a table,
+// indexing all rows currently in the heap.
+func NewHashIndex(name string, t *Table, keyOrds []int) (*HashIndex, error) {
+	for _, o := range keyOrds {
+		if o < 0 || o >= t.Schema().Len() {
+			return nil, fmt.Errorf("storage: key ordinal %d out of range for %s", o, t.Name())
+		}
+	}
+	idx := &HashIndex{
+		name:    name,
+		table:   t,
+		keyOrds: keyOrds,
+		buckets: make(map[uint64][]schema.RID, t.RowCount()),
+	}
+	it := t.Scan()
+	for {
+		row, rid, ok := it.Next()
+		if !ok {
+			break
+		}
+		idx.insert(row, rid)
+	}
+	return idx, nil
+}
+
+// Name returns the index name.
+func (ix *HashIndex) Name() string { return ix.name }
+
+// Table returns the indexed table.
+func (ix *HashIndex) Table() *Table { return ix.table }
+
+// KeyOrdinals returns the indexed column ordinals.
+func (ix *HashIndex) KeyOrdinals() []int { return ix.keyOrds }
+
+func (ix *HashIndex) insert(row schema.Row, rid schema.RID) {
+	// Rows with a NULL key component are not indexed: NULL never equals
+	// anything, so equality lookups can't reach them.
+	for _, o := range ix.keyOrds {
+		if row[o].IsNull() {
+			return
+		}
+	}
+	h := ix.hashKey(ix.extract(row))
+	ix.buckets[h] = append(ix.buckets[h], rid)
+}
+
+// Add indexes a row that was just inserted into the heap.
+func (ix *HashIndex) Add(row schema.Row, rid schema.RID) { ix.insert(row, rid) }
+
+func (ix *HashIndex) extract(row schema.Row) []types.Datum {
+	key := make([]types.Datum, len(ix.keyOrds))
+	for i, o := range ix.keyOrds {
+		key[i] = row[o]
+	}
+	return key
+}
+
+func (ix *HashIndex) hashKey(key []types.Datum) uint64 {
+	h := fnv.New64a()
+	for _, d := range key {
+		d.HashInto(h)
+	}
+	return h.Sum64()
+}
+
+// Lookup returns the RIDs of all rows whose key columns equal the given key
+// values. The result may be in any order. probes counts heap re-checks
+// performed (collision verification), which the executor charges as work.
+func (ix *HashIndex) Lookup(key []types.Datum) (rids []schema.RID, probes int, err error) {
+	if len(key) != len(ix.keyOrds) {
+		return nil, 0, fmt.Errorf("storage: lookup key arity %d != index arity %d", len(key), len(ix.keyOrds))
+	}
+	for _, d := range key {
+		if d.IsNull() {
+			return nil, 0, nil
+		}
+	}
+	h := ix.hashKey(key)
+	for _, rid := range ix.buckets[h] {
+		probes++
+		row, err := ix.table.Get(rid)
+		if err != nil {
+			return nil, probes, err
+		}
+		match := true
+		for i, o := range ix.keyOrds {
+			c, cerr := row[o].Compare(key[i])
+			if cerr != nil || c != 0 {
+				match = false
+				break
+			}
+		}
+		if match {
+			rids = append(rids, rid)
+		}
+	}
+	return rids, probes, nil
+}
+
+// EntryCount returns the number of indexed rows (NULL-keyed rows excluded).
+func (ix *HashIndex) EntryCount() int {
+	n := 0
+	for _, b := range ix.buckets {
+		n += len(b)
+	}
+	return n
+}

@@ -1,0 +1,364 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+func newTestTable(t *testing.T) *Table {
+	t.Helper()
+	s := schema.New(
+		schema.Column{Name: "id", Type: types.KindInt},
+		schema.Column{Name: "name", Type: types.KindString},
+	)
+	return NewTable("t", s)
+}
+
+func TestHeapInsertGet(t *testing.T) {
+	tab := newTestTable(t)
+	rid, err := tab.Insert(schema.Row{types.NewInt(1), types.NewString("a")})
+	if err != nil || rid != 0 {
+		t.Fatalf("insert: rid=%d err=%v", rid, err)
+	}
+	rid2, _ := tab.Insert(schema.Row{types.NewInt(2), types.NewString("b")})
+	if rid2 != 1 {
+		t.Fatalf("second rid = %d", rid2)
+	}
+	row, err := tab.Get(rid2)
+	if err != nil || row[1].Str() != "b" {
+		t.Fatalf("get: %v %v", row, err)
+	}
+	if tab.RowCount() != 2 {
+		t.Error("row count")
+	}
+	if _, err := tab.Get(99); err == nil {
+		t.Error("out-of-range get should error")
+	}
+	if _, err := tab.Get(schema.InvalidRID); err == nil {
+		t.Error("invalid rid get should error")
+	}
+}
+
+func TestHeapArityCheck(t *testing.T) {
+	tab := newTestTable(t)
+	if _, err := tab.Insert(schema.Row{types.NewInt(1)}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInsert should panic on arity mismatch")
+		}
+	}()
+	tab.MustInsert(schema.Row{types.NewInt(1)})
+}
+
+func TestHeapScan(t *testing.T) {
+	tab := newTestTable(t)
+	for i := 0; i < 5; i++ {
+		tab.MustInsert(schema.Row{types.NewInt(int64(i)), types.NewString("r")})
+	}
+	it := tab.Scan()
+	var got []int64
+	for {
+		row, rid, ok := it.Next()
+		if !ok {
+			break
+		}
+		if schema.RID(row[0].Int()) != rid {
+			t.Errorf("rid mismatch: %v vs %d", row[0], rid)
+		}
+		got = append(got, row[0].Int())
+	}
+	if len(got) != 5 {
+		t.Fatalf("scanned %d rows", len(got))
+	}
+	it.Reset()
+	if _, _, ok := it.Next(); !ok {
+		t.Error("reset should rewind")
+	}
+}
+
+func TestColumnValuesSkipsNulls(t *testing.T) {
+	tab := newTestTable(t)
+	tab.MustInsert(schema.Row{types.NewInt(1), types.Null})
+	tab.MustInsert(schema.Row{types.NewInt(2), types.NewString("x")})
+	vals := tab.ColumnValues(1)
+	if len(vals) != 1 || vals[0].Str() != "x" {
+		t.Errorf("ColumnValues = %v", vals)
+	}
+}
+
+func TestHashIndexLookup(t *testing.T) {
+	tab := newTestTable(t)
+	for i := 0; i < 100; i++ {
+		tab.MustInsert(schema.Row{types.NewInt(int64(i % 10)), types.NewString("r")})
+	}
+	ix, err := NewHashIndex("ix", tab, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids, probes, err := ix.Lookup([]types.Datum{types.NewInt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 10 {
+		t.Errorf("lookup(3) found %d rows, want 10", len(rids))
+	}
+	if probes < 10 {
+		t.Errorf("probes = %d, want >= 10", probes)
+	}
+	for _, rid := range rids {
+		row, _ := tab.Get(rid)
+		if row[0].Int() != 3 {
+			t.Errorf("false positive rid %d -> %v", rid, row)
+		}
+	}
+	// Missing key.
+	rids, _, _ = ix.Lookup([]types.Datum{types.NewInt(42)})
+	if len(rids) != 0 {
+		t.Error("lookup of absent key should be empty")
+	}
+	if ix.EntryCount() != 100 {
+		t.Errorf("entry count = %d", ix.EntryCount())
+	}
+}
+
+func TestHashIndexComposite(t *testing.T) {
+	s := schema.New(
+		schema.Column{Name: "a", Type: types.KindInt},
+		schema.Column{Name: "b", Type: types.KindString},
+	)
+	tab := NewTable("t", s)
+	tab.MustInsert(schema.Row{types.NewInt(1), types.NewString("x")})
+	tab.MustInsert(schema.Row{types.NewInt(1), types.NewString("y")})
+	tab.MustInsert(schema.Row{types.NewInt(2), types.NewString("x")})
+	ix, _ := NewHashIndex("ix", tab, []int{0, 1})
+	rids, _, _ := ix.Lookup([]types.Datum{types.NewInt(1), types.NewString("x")})
+	if len(rids) != 1 || rids[0] != 0 {
+		t.Errorf("composite lookup = %v", rids)
+	}
+	if _, _, err := ix.Lookup([]types.Datum{types.NewInt(1)}); err == nil {
+		t.Error("wrong-arity lookup should error")
+	}
+}
+
+func TestHashIndexNullKeys(t *testing.T) {
+	tab := newTestTable(t)
+	tab.MustInsert(schema.Row{types.Null, types.NewString("n")})
+	tab.MustInsert(schema.Row{types.NewInt(1), types.NewString("v")})
+	ix, _ := NewHashIndex("ix", tab, []int{0})
+	if ix.EntryCount() != 1 {
+		t.Error("NULL keys must not be indexed")
+	}
+	rids, _, _ := ix.Lookup([]types.Datum{types.Null})
+	if len(rids) != 0 {
+		t.Error("NULL lookup must be empty")
+	}
+}
+
+func TestHashIndexAdd(t *testing.T) {
+	tab := newTestTable(t)
+	ix, _ := NewHashIndex("ix", tab, []int{0})
+	row := schema.Row{types.NewInt(5), types.NewString("late")}
+	rid := tab.MustInsert(row)
+	ix.Add(row, rid)
+	rids, _, _ := ix.Lookup([]types.Datum{types.NewInt(5)})
+	if len(rids) != 1 || rids[0] != rid {
+		t.Error("incremental add not visible")
+	}
+}
+
+func TestHashIndexBadOrdinal(t *testing.T) {
+	tab := newTestTable(t)
+	if _, err := NewHashIndex("ix", tab, []int{9}); err == nil {
+		t.Error("bad ordinal should error")
+	}
+}
+
+func TestBTreeBasic(t *testing.T) {
+	tab := newTestTable(t)
+	// Insert keys in scrambled order, enough to force multi-level splits.
+	n := 2000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tab.MustInsert(schema.Row{types.NewInt(int64(k)), types.NewString("r")})
+	}
+	ix, err := NewBTreeIndex("bt", tab, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Height() < 2 {
+		t.Errorf("expected multi-level tree, height=%d", ix.Height())
+	}
+	if ix.EntryCount() != n {
+		t.Errorf("entry count = %d, want %d", ix.EntryCount(), n)
+	}
+	// Point lookups.
+	for _, k := range []int64{0, 1, 999, 1999} {
+		rids := ix.Lookup(types.NewInt(k))
+		if len(rids) != 1 {
+			t.Fatalf("lookup(%d) = %v", k, rids)
+		}
+		row, _ := tab.Get(rids[0])
+		if row[0].Int() != k {
+			t.Errorf("lookup(%d) returned row %v", k, row)
+		}
+	}
+	if len(ix.Lookup(types.NewInt(5000))) != 0 {
+		t.Error("absent key lookup should be empty")
+	}
+	if len(ix.Lookup(types.Null)) != 0 {
+		t.Error("NULL lookup should be empty")
+	}
+	if ix.MinKey().Int() != 0 || ix.MaxKey().Int() != int64(n-1) {
+		t.Errorf("min/max = %v/%v", ix.MinKey(), ix.MaxKey())
+	}
+}
+
+func TestBTreeDuplicates(t *testing.T) {
+	tab := newTestTable(t)
+	for i := 0; i < 300; i++ {
+		tab.MustInsert(schema.Row{types.NewInt(int64(i % 3)), types.NewString("d")})
+	}
+	ix, _ := NewBTreeIndex("bt", tab, 0)
+	for k := int64(0); k < 3; k++ {
+		if got := len(ix.Lookup(types.NewInt(k))); got != 100 {
+			t.Errorf("lookup(%d) = %d rids, want 100", k, got)
+		}
+	}
+}
+
+func TestBTreeRangeScan(t *testing.T) {
+	tab := newTestTable(t)
+	for i := 0; i < 500; i++ {
+		tab.MustInsert(schema.Row{types.NewInt(int64(i)), types.NewString("r")})
+	}
+	ix, _ := NewBTreeIndex("bt", tab, 0)
+
+	collect := func(lo, hi Bound) []int64 {
+		var keys []int64
+		ix.AscendRange(lo, hi, func(k types.Datum, rid schema.RID) bool {
+			keys = append(keys, k.Int())
+			return true
+		})
+		return keys
+	}
+	v := func(x int64) *types.Datum { d := types.NewInt(x); return &d }
+
+	got := collect(Bound{Value: v(10), Inclusive: true}, Bound{Value: v(15), Inclusive: true})
+	if len(got) != 6 || got[0] != 10 || got[5] != 15 {
+		t.Errorf("[10,15] = %v", got)
+	}
+	got = collect(Bound{Value: v(10), Inclusive: false}, Bound{Value: v(15), Inclusive: false})
+	if len(got) != 4 || got[0] != 11 || got[3] != 14 {
+		t.Errorf("(10,15) = %v", got)
+	}
+	got = collect(Bound{}, Bound{Value: v(2), Inclusive: true})
+	if len(got) != 3 {
+		t.Errorf("(-inf,2] = %v", got)
+	}
+	got = collect(Bound{Value: v(497), Inclusive: true}, Bound{})
+	if len(got) != 3 {
+		t.Errorf("[497,inf) = %v", got)
+	}
+	// Ascending order across the whole index.
+	all := collect(Bound{}, Bound{})
+	if len(all) != 500 || !sort.SliceIsSorted(all, func(i, j int) bool { return all[i] < all[j] }) {
+		t.Errorf("full scan len=%d sorted=%v", len(all), sort.SliceIsSorted(all, func(i, j int) bool { return all[i] < all[j] }))
+	}
+	// Early termination.
+	n := 0
+	ix.AscendRange(Bound{}, Bound{}, func(types.Datum, schema.RID) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestBTreeStrings(t *testing.T) {
+	s := schema.New(schema.Column{Name: "w", Type: types.KindString})
+	tab := NewTable("t", s)
+	words := []string{"pear", "apple", "mango", "banana", "cherry"}
+	for _, w := range words {
+		tab.MustInsert(schema.Row{types.NewString(w)})
+	}
+	ix, _ := NewBTreeIndex("bt", tab, 0)
+	var got []string
+	ix.AscendRange(Bound{}, Bound{}, func(k types.Datum, _ schema.RID) bool {
+		got = append(got, k.Str())
+		return true
+	})
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("string keys not sorted: %v", got)
+	}
+	lo := types.NewString("b")
+	hi := types.NewString("d")
+	var ranged []string
+	ix.AscendRange(Bound{Value: &lo, Inclusive: true}, Bound{Value: &hi, Inclusive: false},
+		func(k types.Datum, _ schema.RID) bool {
+			ranged = append(ranged, k.Str())
+			return true
+		})
+	if len(ranged) != 2 || ranged[0] != "banana" || ranged[1] != "cherry" {
+		t.Errorf("range [b,d) = %v", ranged)
+	}
+}
+
+func TestBTreeEmpty(t *testing.T) {
+	tab := newTestTable(t)
+	ix, _ := NewBTreeIndex("bt", tab, 0)
+	if !ix.MinKey().IsNull() || !ix.MaxKey().IsNull() {
+		t.Error("empty index min/max should be NULL")
+	}
+	if n := ix.AscendRange(Bound{}, Bound{}, func(types.Datum, schema.RID) bool { return true }); n != 0 {
+		t.Error("empty scan should visit nothing")
+	}
+	if _, err := NewBTreeIndex("bt", tab, 5); err == nil {
+		t.Error("bad ordinal should error")
+	}
+}
+
+// Property: for random key multisets, a full B+tree ascent returns exactly
+// the sorted multiset.
+func TestBTreeSortedProperty(t *testing.T) {
+	f := func(keys []int16) bool {
+		s := schema.New(schema.Column{Name: "k", Type: types.KindInt})
+		tab := NewTable("t", s)
+		for _, k := range keys {
+			tab.MustInsert(schema.Row{types.NewInt(int64(k))})
+		}
+		ix, err := NewBTreeIndex("bt", tab, 0)
+		if err != nil {
+			return false
+		}
+		var got []int64
+		ix.AscendRange(Bound{}, Bound{}, func(k types.Datum, _ schema.RID) bool {
+			got = append(got, k.Int())
+			return true
+		})
+		want := make([]int64, len(keys))
+		for i, k := range keys {
+			want[i] = int64(k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

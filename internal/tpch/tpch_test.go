@@ -1,0 +1,223 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/pop"
+	"repro/internal/types"
+)
+
+func loadSmall(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	cfg := Config{ScaleFactor: 0.002, Seed: 7}
+	if err := Load(cat, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestSizesScaling(t *testing.T) {
+	s := Sizes(0.01)
+	if s["lineitem"] != 60000 || s["orders"] != 15000 || s["customer"] != 1500 {
+		t.Errorf("sizes = %v", s)
+	}
+	if s["region"] != 5 || s["nation"] != 25 {
+		t.Error("fixed tables must not scale")
+	}
+	tiny := Sizes(1e-9)
+	for name, n := range tiny {
+		if n < 1 {
+			t.Errorf("%s size %d < 1", name, n)
+		}
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	cat1 := loadSmall(t)
+	cat2 := loadSmall(t)
+	for _, name := range cat1.TableNames() {
+		t1, _ := cat1.Table(name)
+		t2, _ := cat2.Table(name)
+		if t1.RowCount() != t2.RowCount() {
+			t.Errorf("%s cardinality differs across loads", name)
+		}
+	}
+	// Spot-check a row.
+	l1, _ := cat1.Table("lineitem")
+	l2, _ := cat2.Table("lineitem")
+	r1, _ := l1.Heap.Get(10)
+	r2, _ := l2.Heap.Get(10)
+	if r1.String() != r2.String() {
+		t.Errorf("row 10 differs: %s vs %s", r1, r2)
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	cat := loadSmall(t)
+	orders, _ := cat.Table("orders")
+	customer, _ := cat.Table("customer")
+	nCust := int64(customer.Heap.RowCount())
+	it := orders.Heap.Scan()
+	for {
+		row, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		if ck := row[1].Int(); ck < 0 || ck >= nCust {
+			t.Fatalf("o_custkey %d out of range [0,%d)", ck, nCust)
+		}
+	}
+	line, _ := cat.Table("lineitem")
+	nOrders := int64(orders.Heap.RowCount())
+	lit := line.Heap.Scan()
+	for {
+		row, _, ok := lit.Next()
+		if !ok {
+			break
+		}
+		if ok := row[0].Int(); ok < 0 || ok >= nOrders {
+			t.Fatalf("l_orderkey %d out of range", ok)
+		}
+	}
+}
+
+func TestStatisticsBuilt(t *testing.T) {
+	cat := loadSmall(t)
+	line, _ := cat.Table("lineitem")
+	qty := line.Stats(line.Schema.Ordinal("l_quantity"))
+	if qty == nil || qty.RowCount == 0 {
+		t.Fatal("lineitem stats missing")
+	}
+	if qty.Min.Float() != 1 || qty.Max.Float() != 50 {
+		t.Errorf("l_quantity range [%v,%v], want [1,50]", qty.Min, qty.Max)
+	}
+}
+
+// TestAllQueriesPlanAndRun compiles and executes every evaluation query
+// without POP, sanity-checking result shapes.
+func TestAllQueriesPlanAndRun(t *testing.T) {
+	cat := loadSmall(t)
+	qs, err := Queries(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 10 {
+		t.Fatalf("expected 10 queries, got %d", len(qs))
+	}
+	for name, q := range qs {
+		t.Run(name, func(t *testing.T) {
+			opt := optimizer.New(cat)
+			plan, err := opt.Optimize(q)
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			ex, err := executor.NewExecutor(cat, q, nil, opt.Model.Params, &executor.Meter{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			root, err := ex.Build(plan)
+			if err != nil {
+				t.Fatalf("build: %v\n%s", err, optimizer.Explain(plan, q))
+			}
+			rows, err := executor.Run(root)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			t.Logf("%s: %d rows, cost %.0f", name, len(rows), plan.Cost)
+		})
+	}
+}
+
+// TestQueriesAgreeUnderPOP verifies POP returns identical results for every
+// evaluation query.
+func TestQueriesAgreeUnderPOP(t *testing.T) {
+	cat := loadSmall(t)
+	qs, err := Queries(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, q := range qs {
+		t.Run(name, func(t *testing.T) {
+			off, err := pop.NewRunner(cat, pop.Options{Enabled: false}).Run(q, nil)
+			if err != nil {
+				t.Fatalf("no-POP run: %v", err)
+			}
+			on, err := pop.NewRunner(cat, pop.DefaultOptions()).Run(q, nil)
+			if err != nil {
+				t.Fatalf("POP run: %v", err)
+			}
+			if len(on.Rows) != len(off.Rows) {
+				t.Fatalf("row counts differ: POP %d vs baseline %d (reopts=%d)",
+					len(on.Rows), len(off.Rows), on.Reopts)
+			}
+		})
+	}
+}
+
+func TestQ10ParamVsLiteral(t *testing.T) {
+	cat := loadSmall(t)
+	qp, err := Q10Param(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp.NumParams != 1 {
+		t.Fatalf("param count = %d", qp.NumParams)
+	}
+	ql, err := Q10Literal(cat, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runQ := func(q *logical.Query, params []types.Datum) int {
+		opt := optimizer.New(cat)
+		plan, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, _ := executor.NewExecutor(cat, q, params, opt.Model.Params, &executor.Meter{})
+		root, err := ex.Build(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := executor.Run(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(rows)
+	}
+	nParam := runQ(qp, []types.Datum{types.NewFloat(25)})
+	nLit := runQ(ql, nil)
+	if nParam != nLit {
+		t.Errorf("param (%d rows) and literal (%d rows) disagree", nParam, nLit)
+	}
+}
+
+// TestQ10ParamPOPAgreesProperty is a property sweep: for random parameter
+// bindings, POP (with however many re-optimizations it takes) returns
+// exactly the rows the static plan returns.
+func TestQ10ParamPOPAgreesProperty(t *testing.T) {
+	cat := loadSmall(t)
+	q, err := Q10Param(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qty := range []float64{0, 1, 7.5, 13, 26, 37.2, 49, 50, 75} {
+		params := []types.Datum{types.NewFloat(qty)}
+		static, err := pop.NewRunner(cat, pop.Options{Enabled: false}).Run(q, params)
+		if err != nil {
+			t.Fatalf("qty=%v static: %v", qty, err)
+		}
+		progressive, err := pop.NewRunner(cat, pop.DefaultOptions()).Run(q, params)
+		if err != nil {
+			t.Fatalf("qty=%v POP: %v", qty, err)
+		}
+		if len(progressive.Rows) != len(static.Rows) {
+			t.Errorf("qty=%v: POP %d rows vs static %d (reopts=%d)",
+				qty, len(progressive.Rows), len(static.Rows), progressive.Reopts)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package types defines Datum, the dynamically typed scalar value that flows
+// through every operator of the engine, together with comparison, hashing and
+// formatting primitives. Datum is a small value type: copying it is cheap and
+// rows are plain []Datum slices.
+package types
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the scalar types supported by the engine.
+type Kind uint8
+
+// The supported datum kinds. KindNull is the kind of the SQL NULL value,
+// which compares as unknown and hashes to a fixed sentinel.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindDate
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether values of this kind participate in arithmetic and
+// numeric comparison coercion.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat || k == KindDate }
+
+// Datum is a single scalar value. The zero value is NULL.
+type Datum struct {
+	kind Kind
+	i    int64 // int, bool (0/1), date (days since 1970-01-01)
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Datum{}
+
+// NewInt returns an integer datum.
+func NewInt(v int64) Datum { return Datum{kind: KindInt, i: v} }
+
+// NewFloat returns a double-precision datum.
+func NewFloat(v float64) Datum { return Datum{kind: KindFloat, f: v} }
+
+// NewString returns a string datum.
+func NewString(v string) Datum { return Datum{kind: KindString, s: v} }
+
+// NewBool returns a boolean datum.
+func NewBool(v bool) Datum {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Datum{kind: KindBool, i: i}
+}
+
+// NewDate returns a date datum holding the given number of days since the
+// Unix epoch.
+func NewDate(days int64) Datum { return Datum{kind: KindDate, i: days} }
+
+// MakeDate returns a date datum for the given calendar day.
+func MakeDate(year int, month time.Month, day int) Datum {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return NewDate(int64(t.Unix() / 86400))
+}
+
+// Kind returns the datum's kind.
+func (d Datum) Kind() Kind { return d.kind }
+
+// IsNull reports whether the datum is SQL NULL.
+func (d Datum) IsNull() bool { return d.kind == KindNull }
+
+// Int returns the integer value. It panics if the datum is not an integer,
+// boolean or date; use Kind to check first.
+func (d Datum) Int() int64 {
+	switch d.kind {
+	case KindInt, KindBool, KindDate:
+		return d.i
+	default:
+		panic(fmt.Sprintf("types: Int() on %s datum", d.kind))
+	}
+}
+
+// Float returns the value as a float64, coercing integers and dates.
+func (d Datum) Float() float64 {
+	switch d.kind {
+	case KindFloat:
+		return d.f
+	case KindInt, KindBool, KindDate:
+		return float64(d.i)
+	default:
+		panic(fmt.Sprintf("types: Float() on %s datum", d.kind))
+	}
+}
+
+// Str returns the string value. It panics for non-string datums.
+func (d Datum) Str() string {
+	if d.kind != KindString {
+		panic(fmt.Sprintf("types: Str() on %s datum", d.kind))
+	}
+	return d.s
+}
+
+// Bool returns the boolean value. It panics for non-boolean datums.
+func (d Datum) Bool() bool {
+	if d.kind != KindBool {
+		panic(fmt.Sprintf("types: Bool() on %s datum", d.kind))
+	}
+	return d.i != 0
+}
+
+// Days returns the number of days since the Unix epoch for a date datum.
+func (d Datum) Days() int64 {
+	if d.kind != KindDate {
+		panic(fmt.Sprintf("types: Days() on %s datum", d.kind))
+	}
+	return d.i
+}
+
+// ErrIncomparable is returned by Compare when two datums cannot be ordered.
+type ErrIncomparable struct{ A, B Kind }
+
+func (e *ErrIncomparable) Error() string {
+	return fmt.Sprintf("types: cannot compare %s with %s", e.A, e.B)
+}
+
+// Compare orders two non-NULL datums, returning -1, 0 or +1. Integers,
+// floats and dates compare numerically across kinds; strings compare
+// lexicographically; booleans order false < true. Comparing a NULL or
+// incompatible kinds returns an error — SQL three-valued logic is handled a
+// level up, in package expr.
+func (d Datum) Compare(o Datum) (int, error) {
+	if d.kind == KindNull || o.kind == KindNull {
+		return 0, &ErrIncomparable{d.kind, o.kind}
+	}
+	if d.kind.Numeric() && o.kind.Numeric() {
+		// Fast path: same-kind integers avoid float rounding.
+		if d.kind != KindFloat && o.kind != KindFloat {
+			return cmpInt(d.i, o.i), nil
+		}
+		return cmpFloat(d.Float(), o.Float()), nil
+	}
+	if d.kind != o.kind {
+		return 0, &ErrIncomparable{d.kind, o.kind}
+	}
+	switch d.kind {
+	case KindString:
+		switch {
+		case d.s < o.s:
+			return -1, nil
+		case d.s > o.s:
+			return 1, nil
+		}
+		return 0, nil
+	case KindBool:
+		return cmpInt(d.i, o.i), nil
+	default:
+		return 0, &ErrIncomparable{d.kind, o.kind}
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// MustCompare is Compare for callers that have already verified
+// comparability; it panics on error.
+func (d Datum) MustCompare(o Datum) int {
+	c, err := d.Compare(o)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Equal reports whether two datums are identical values (same kind, same
+// value). Unlike Compare, NULL equals NULL here; Equal is identity for
+// grouping/hashing, not SQL equality.
+func (d Datum) Equal(o Datum) bool {
+	if d.kind != o.kind {
+		// Int/float/date cross-kind numeric identity is intentionally not
+		// collapsed: grouping treats 1 and 1.0 as distinct keys, matching
+		// their distinct hash values.
+		return false
+	}
+	switch d.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return d.s == o.s
+	case KindFloat:
+		return d.f == o.f || (math.IsNaN(d.f) && math.IsNaN(o.f))
+	default:
+		return d.i == o.i
+	}
+}
+
+// Hash returns a 64-bit hash of the datum, suitable for hash joins and
+// aggregation. NULLs hash to a fixed sentinel so they can be grouped.
+func (d Datum) Hash() uint64 {
+	h := fnv.New64a()
+	d.HashInto(h)
+	return h.Sum64()
+}
+
+// hashWriter is the subset of hash.Hash64 HashInto needs.
+type hashWriter interface {
+	Write(p []byte) (int, error)
+}
+
+// HashInto mixes the datum into an existing hash state, enabling composite
+// key hashing without intermediate allocation.
+func (d Datum) HashInto(h hashWriter) {
+	var buf [9]byte
+	buf[0] = byte(d.kind)
+	switch d.kind {
+	case KindNull:
+		h.Write(buf[:1])
+	case KindString:
+		h.Write(buf[:1])
+		h.Write([]byte(d.s))
+	case KindFloat:
+		bits := math.Float64bits(d.f)
+		putUint64(buf[1:], bits)
+		h.Write(buf[:])
+	default:
+		putUint64(buf[1:], uint64(d.i))
+		h.Write(buf[:])
+	}
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// String renders the datum for display and plan text.
+func (d Datum) String() string {
+	switch d.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if d.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(d.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(d.f, 'g', -1, 64)
+	case KindString:
+		return "'" + d.s + "'"
+	case KindDate:
+		t := time.Unix(d.i*86400, 0).UTC()
+		return t.Format("2006-01-02")
+	default:
+		return fmt.Sprintf("Datum(kind=%d)", d.kind)
+	}
+}
+
+// SortValue returns a float64 that preserves the ordering of comparable
+// datums of a numeric kind; histogram construction uses it to compute bucket
+// boundaries. For strings it returns a prefix-based projection that preserves
+// order only approximately (sufficient for selectivity interpolation).
+func (d Datum) SortValue() float64 {
+	switch d.kind {
+	case KindInt, KindBool, KindDate:
+		return float64(d.i)
+	case KindFloat:
+		return d.f
+	case KindString:
+		// Project the first 8 bytes onto a float: order-preserving for the
+		// prefix, adequate for interpolation within histogram buckets.
+		var v float64
+		scale := 1.0
+		for i := 0; i < 8 && i < len(d.s); i++ {
+			scale /= 256.0
+			v += float64(d.s[i]) * scale
+		}
+		return v
+	default:
+		return 0
+	}
+}

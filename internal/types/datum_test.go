@@ -1,0 +1,298 @@
+package types
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindBool:   "BOOLEAN",
+		KindInt:    "INTEGER",
+		KindFloat:  "DOUBLE",
+		KindString: "VARCHAR",
+		KindDate:   "DATE",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var d Datum
+	if !d.IsNull() {
+		t.Fatal("zero Datum should be NULL")
+	}
+	if d.Kind() != KindNull {
+		t.Fatalf("zero Datum kind = %v", d.Kind())
+	}
+	if !Null.IsNull() {
+		t.Fatal("Null should be NULL")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if NewInt(42).Int() != 42 {
+		t.Error("Int accessor")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float accessor")
+	}
+	if NewString("abc").Str() != "abc" {
+		t.Error("Str accessor")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool accessor")
+	}
+	if NewDate(100).Days() != 100 {
+		t.Error("Days accessor")
+	}
+	if NewInt(7).Float() != 7.0 {
+		t.Error("int->float coercion")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Int on string", func() { NewString("x").Int() })
+	mustPanic("Str on int", func() { NewInt(1).Str() })
+	mustPanic("Bool on int", func() { NewInt(1).Bool() })
+	mustPanic("Days on int", func() { NewInt(1).Days() })
+	mustPanic("Float on string", func() { NewString("x").Float() })
+}
+
+func TestCompareNumeric(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewFloat(1.5), NewFloat(0.5), 1},
+		{NewDate(10), NewDate(20), -1},
+		{NewDate(10), NewInt(10), 0},
+		{NewBool(false), NewBool(true), -1},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil {
+			t.Errorf("Compare(%v,%v): %v", c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	a, b := NewString("apple"), NewString("banana")
+	if c, _ := a.Compare(b); c != -1 {
+		t.Error("apple < banana expected")
+	}
+	if c, _ := b.Compare(a); c != 1 {
+		t.Error("banana > apple expected")
+	}
+	if c, _ := a.Compare(a); c != 0 {
+		t.Error("apple == apple expected")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Null.Compare(NewInt(1)); err == nil {
+		t.Error("NULL compare should fail")
+	}
+	if _, err := NewInt(1).Compare(Null); err == nil {
+		t.Error("compare to NULL should fail")
+	}
+	if _, err := NewString("a").Compare(NewInt(1)); err == nil {
+		t.Error("string vs int should fail")
+	}
+	if _, err := NewBool(true).Compare(NewString("a")); err == nil {
+		t.Error("bool vs string should fail")
+	}
+	var e *ErrIncomparable
+	_, err := NewString("a").Compare(NewInt(1))
+	if e2, ok := err.(*ErrIncomparable); !ok {
+		t.Errorf("want *ErrIncomparable, got %T", err)
+	} else {
+		e = e2
+	}
+	if e != nil && e.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestMustComparePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompare on NULL should panic")
+		}
+	}()
+	Null.MustCompare(NewInt(1))
+}
+
+func TestEqual(t *testing.T) {
+	if !NewInt(5).Equal(NewInt(5)) {
+		t.Error("5 == 5")
+	}
+	if NewInt(5).Equal(NewInt(6)) {
+		t.Error("5 != 6")
+	}
+	if NewInt(1).Equal(NewFloat(1)) {
+		t.Error("cross-kind identity must be false")
+	}
+	if !Null.Equal(Null) {
+		t.Error("NULL identity-equals NULL for grouping")
+	}
+	if !NewString("x").Equal(NewString("x")) {
+		t.Error("string equality")
+	}
+	nan := NewFloat(math.NaN())
+	if !nan.Equal(nan) {
+		t.Error("NaN identity-equals NaN for grouping")
+	}
+}
+
+func TestHashConsistency(t *testing.T) {
+	// Equal values must hash equal.
+	pairs := [][2]Datum{
+		{NewInt(42), NewInt(42)},
+		{NewString("hello"), NewString("hello")},
+		{NewFloat(3.14), NewFloat(3.14)},
+		{Null, Null},
+		{NewDate(9000), NewDate(9000)},
+	}
+	for _, p := range pairs {
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("hash mismatch for equal datums %v", p[0])
+		}
+	}
+	// Different kinds with same payload should (almost surely) differ.
+	if NewInt(1).Hash() == NewBool(true).Hash() {
+		t.Error("int 1 and bool true should hash differently")
+	}
+	if NewInt(100).Hash() == NewDate(100).Hash() {
+		t.Error("int and date with same payload should hash differently")
+	}
+}
+
+func TestHashInto(t *testing.T) {
+	h1 := fnv.New64a()
+	NewInt(1).HashInto(h1)
+	NewString("a").HashInto(h1)
+	h2 := fnv.New64a()
+	NewInt(1).HashInto(h2)
+	NewString("a").HashInto(h2)
+	if h1.Sum64() != h2.Sum64() {
+		t.Error("composite hash not deterministic")
+	}
+	h3 := fnv.New64a()
+	NewString("a").HashInto(h3)
+	NewInt(1).HashInto(h3)
+	if h1.Sum64() == h3.Sum64() {
+		t.Error("composite hash should be order sensitive")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewInt(-7), "-7"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("hi"), "'hi'"},
+		{MakeDate(1998, time.September, 2), "1998-09-02"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestMakeDateRoundTrip(t *testing.T) {
+	d := MakeDate(2004, time.June, 13)
+	t2 := time.Unix(d.Days()*86400, 0).UTC()
+	if t2.Year() != 2004 || t2.Month() != time.June || t2.Day() != 13 {
+		t.Errorf("round trip failed: %v", t2)
+	}
+}
+
+func TestSortValueOrderPreserving(t *testing.T) {
+	if NewInt(1).SortValue() >= NewInt(2).SortValue() {
+		t.Error("int sort values out of order")
+	}
+	if NewString("aa").SortValue() >= NewString("ab").SortValue() {
+		t.Error("string sort values out of order")
+	}
+	if Null.SortValue() != 0 {
+		t.Error("null sort value should be 0")
+	}
+}
+
+// Property: Compare is antisymmetric and transitive over random ints.
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		da, db := NewInt(a), NewInt(b)
+		c1, _ := da.Compare(db)
+		c2, _ := db.Compare(da)
+		return c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal datums hash equal for random strings.
+func TestHashEqualProperty(t *testing.T) {
+	f := func(s string) bool {
+		return NewString(s).Hash() == NewString(s).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SortValue preserves <= for random int64 pairs.
+func TestSortValuePreservesOrderProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		da, db := NewInt(int64(a)), NewInt(int64(b))
+		c, _ := da.Compare(db)
+		switch c {
+		case -1:
+			return da.SortValue() < db.SortValue()
+		case 1:
+			return da.SortValue() > db.SortValue()
+		default:
+			return da.SortValue() == db.SortValue()
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
