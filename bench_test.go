@@ -8,6 +8,9 @@
 package repro
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -16,8 +19,10 @@ import (
 	"repro/internal/executor"
 	"repro/internal/expr"
 	"repro/internal/harness"
+	"repro/internal/logical"
 	"repro/internal/optimizer"
 	"repro/internal/pop"
+	"repro/internal/schema"
 	"repro/internal/stats"
 	"repro/internal/tpch"
 	"repro/internal/types"
@@ -356,6 +361,128 @@ func BenchmarkExecuteQ3(b *testing.B) {
 		if _, err := executor.Run(root); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Parallel execution (exchange operators / partitioned hash join).
+
+var (
+	parOnce sync.Once
+	parDB   *catalog.Catalog
+)
+
+// parallelFixture loads a larger TPC-H instance (~120k lineitem rows) so
+// per-worker morsel stripes carry enough rows for wall-clock scaling to show
+// above the exchange setup overhead.
+func parallelFixture(b *testing.B) *catalog.Catalog {
+	b.Helper()
+	parOnce.Do(func() {
+		parDB = catalog.New()
+		if err := tpch.Load(parDB, tpch.Config{ScaleFactor: 0.02, Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return parDB
+}
+
+// parallelJoinQuery is a TPC-H-style selective join: every lineitem and
+// orders row is scanned and probed, few rows survive to cross the gather.
+func parallelJoinQuery(b *testing.B, cat *catalog.Catalog) *logical.Query {
+	b.Helper()
+	bq := logical.NewBuilder(cat)
+	bq.AddTable("lineitem", "l")
+	bq.AddTable("orders", "o")
+	bq.Where(&expr.Cmp{Op: expr.EQ, L: bq.Col("l", "l_orderkey"), R: bq.Col("o", "o_orderkey")})
+	bq.Where(&expr.Cmp{Op: expr.GT, L: bq.Col("l", "l_quantity"), R: &expr.Const{Val: types.NewFloat(45)}})
+	bq.SelectCol("l", "l_orderkey")
+	bq.SelectCol("l", "l_quantity")
+	bq.SelectCol("o", "o_totalprice")
+	q, err := bq.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+func benchCanon(rows []schema.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BenchmarkParallelHashJoin executes one parallel plan shape (Workers=4) at
+// several DOPs. Before timing, it asserts the determinism contract: the
+// result multiset and the simulated work total are identical at every DOP.
+// The sub-benchmark ns/op show the wall-clock scaling parallelism buys.
+func BenchmarkParallelHashJoin(b *testing.B) {
+	cat := parallelFixture(b)
+	q := parallelJoinQuery(b, cat)
+	opt := optimizer.New(cat)
+	opt.DisableNLJN = true
+	opt.DisableMGJN = true
+	opt.Model.Params.Workers = 4
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !strings.Contains(optimizer.Explain(plan, q), "XCHG") {
+		b.Fatalf("plan is not parallel:\n%s", optimizer.Explain(plan, q))
+	}
+
+	run := func(b *testing.B, dop int) ([]schema.Row, float64) {
+		meter := &executor.Meter{}
+		ex, err := executor.NewExecutor(cat, q, nil, opt.Model.Params, meter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ex.DOP = dop
+		root, err := ex.Build(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := executor.Run(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rows, meter.Work()
+	}
+
+	wantRows, wantWork := run(b, 1)
+	if len(wantRows) == 0 {
+		b.Fatal("join produced no rows")
+	}
+	want := benchCanon(wantRows)
+	for _, dop := range []int{2, 4, 8} {
+		rows, work := run(b, dop)
+		if work != wantWork {
+			b.Fatalf("dop=%d work %v differs from dop=1 work %v", dop, work, wantWork)
+		}
+		got := benchCanon(rows)
+		if len(got) != len(want) {
+			b.Fatalf("dop=%d returned %d rows, dop=1 returned %d", dop, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				b.Fatalf("dop=%d row %d: got %s, want %s", dop, i, got[i], want[i])
+			}
+		}
+	}
+
+	for _, dop := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
+			var work float64
+			var nrows int
+			for i := 0; i < b.N; i++ {
+				rows, w := run(b, dop)
+				work, nrows = w, len(rows)
+			}
+			b.ReportMetric(work, "work_units")
+			b.ReportMetric(float64(nrows), "rows")
+		})
 	}
 }
 

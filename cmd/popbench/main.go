@@ -8,6 +8,7 @@
 //	popbench -fig 11 -steps 10    # one figure
 //	popbench -table 1
 //	popbench -fig 15 -dmvscale 1 -queries 39
+//	popbench -parallel            # parallel-runtime study → BENCH_parallel.json
 package main
 
 import (
@@ -31,10 +32,12 @@ func main() {
 		dmvScale = flag.Float64("dmvscale", 0.5, "DMV database scale (1.0 = 30k cars)")
 		steps    = flag.Int("steps", 10, "selectivity steps for figure 11")
 		nq       = flag.Int("queries", dmv.NumQueries, "number of DMV queries for figures 15/16")
+		parallel = flag.Bool("parallel", false, "run the parallel-runtime study")
+		parOut   = flag.String("parout", "BENCH_parallel.json", "output path for the parallel study JSON")
 	)
 	flag.Parse()
 
-	if !*all && *fig == 0 && *table == 0 {
+	if !*all && *fig == 0 && *table == 0 && !*parallel {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -107,12 +110,41 @@ func main() {
 		fmt.Println()
 	}
 
+	runParallel := func() {
+		// The study wants enough rows per morsel stripe for scaling to show
+		// over exchange setup, so it loads its own larger instance.
+		start := time.Now()
+		cat := catalog.New()
+		if err := tpch.Load(cat, tpch.Config{ScaleFactor: 0.02, Seed: 7}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded TPC-H SF=0.02 in %v\n", time.Since(start).Round(time.Millisecond))
+		points, err := harness.ParallelStudy(cat)
+		if err != nil {
+			fatal(err)
+		}
+		harness.WriteParallel(os.Stdout, points)
+		f, err := os.Create(*parOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteParallelJSON(f, points); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *parOut)
+	}
+
 	if *all {
 		harness.WriteTable1(os.Stdout)
 		fmt.Println()
 		for _, n := range []int{11, 12, 13, 14, 15, 16} {
 			run(n)
 		}
+		runParallel()
 		return
 	}
 	if *table == 1 {
@@ -123,6 +155,9 @@ func main() {
 	}
 	if *fig != 0 {
 		run(*fig)
+	}
+	if *parallel {
+		runParallel()
 	}
 }
 

@@ -163,7 +163,7 @@ func analyze(cat *catalog.Catalog, sql string) {
 		}
 	}
 	show(root, 0)
-	fmt.Printf("-- %d rows, %.0f work units\n", len(rows), meter.Work)
+	fmt.Printf("-- %d rows, %.0f work units\n", len(rows), meter.Work())
 }
 
 func execute(cat *catalog.Catalog, sql string, popOn bool) {

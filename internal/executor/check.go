@@ -2,10 +2,50 @@ package executor
 
 import (
 	"hash/fnv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/optimizer"
 	"repro/internal/schema"
 )
+
+// sharedCheck is the runtime state of one logical CHECK operator, shared by
+// every partition-clone instance of it in a parallel plan. The row count is
+// global and atomic, so a check split across DOP workers observes the same
+// totals — and fires at the same count — as its serial form.
+type sharedCheck struct {
+	count     atomic.Int64 // rows observed across all instances
+	streams   atomic.Int32 // built instances that have not yet hit end-of-stream
+	validated atomic.Bool  // cardinality already validated (materializer fast path / rewind)
+}
+
+// checkRegistry maps CHECK metadata to its shared runtime state. One registry
+// lives per statement executor; worker copies share it, so clones of the same
+// plan-level CHECK resolve to the same counters.
+type checkRegistry struct {
+	mu sync.Mutex
+	m  map[*optimizer.CheckMeta]*sharedCheck
+}
+
+func newCheckRegistry() *checkRegistry {
+	return &checkRegistry{m: make(map[*optimizer.CheckMeta]*sharedCheck)}
+}
+
+// instance returns the shared state for a check, registering one more
+// instance's stream. Registration happens at build time — before any worker
+// runs — so a fast worker can never observe a stream count that later
+// instances would still increment.
+func (r *checkRegistry) instance(meta *optimizer.CheckMeta) *sharedCheck {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sc := r.m[meta]
+	if sc == nil {
+		sc = &sharedCheck{}
+		r.m[meta] = sc
+	}
+	sc.streams.Add(1)
+	return sc
+}
 
 // checkNode implements the CHECK operator of paper Figure 10 for check range
 // [low, high]:
@@ -16,10 +56,18 @@ import (
 // When its child is a materialization (SORT/TEMP/GRPBY), the check is
 // evaluated once against the materialized count right after Open — the
 // optimization the paper describes for checks above materialization points.
+//
+// In a parallel plan the same logical CHECK is cloned once per partition
+// worker; all clones count into one sharedCheck. Exactly one violation
+// escapes: the upper bound fires only in the instance whose increment first
+// crossed it, and the lower bound is evaluated only when the last remaining
+// stream reaches end-of-stream (a partial stream's count proves nothing).
 type checkNode struct {
 	base
-	ex    *Executor
-	count float64
+	ex   *Executor
+	sc   *sharedCheck
+	skip bool // this instance validated at Open; per-row checks off
+	eof  bool // this instance already accounted its end-of-stream
 }
 
 func (e *Executor) buildCheck(p *optimizer.Plan) (Node, error) {
@@ -27,7 +75,11 @@ func (e *Executor) buildCheck(p *optimizer.Plan) (Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &checkNode{base: base{plan: p, children: []Node{child}}, ex: e}, nil
+	return &checkNode{
+		base: base{plan: p, children: []Node{child}},
+		ex:   e,
+		sc:   e.checks.instance(p.Check),
+	}, nil
 }
 
 func (n *checkNode) violation(actual float64, exact bool) error {
@@ -42,29 +94,31 @@ func (n *checkNode) violation(actual float64, exact bool) error {
 func (n *checkNode) touch() {
 	if !n.stats.Touched {
 		n.stats.Touched = true
-		n.stats.FirstWork = n.ex.Meter.Work
+		n.stats.FirstWork = n.ex.Meter.Work()
 	}
-	n.stats.DoneWork = n.ex.Meter.Work
+	n.stats.DoneWork = n.ex.Meter.Work()
 }
 
 func (n *checkNode) Open() error {
 	n.stats = NodeStats{Opened: true}
-	n.count = 0
 	child := n.children[0]
 	if err := child.Open(); err != nil {
 		return err
 	}
 	// Lazy checks above materialization points validate once, against the
-	// completed materialization's exact cardinality.
+	// completed materialization's exact cardinality. Under parallelism only
+	// the first instance to reach this point validates.
 	if m, ok := child.(Materializer); ok {
 		if rows, done := m.Materialized(); done {
-			card := float64(len(rows))
-			n.ex.Meter.Add(n.ex.Cost.CheckRow)
-			n.touch()
-			if !n.plan.Check.Range.Contains(card) {
-				return n.violation(card, true)
+			if n.sc.validated.CompareAndSwap(false, true) {
+				card := float64(len(rows))
+				n.ex.Meter.Add(n.ex.Cost.CheckRow)
+				n.touch()
+				if !n.plan.Check.Range.Contains(card) {
+					return n.violation(card, true)
+				}
 			}
-			n.count = -1 // sentinel: already validated, skip per-row checks
+			n.skip = true
 		}
 	}
 	return nil
@@ -76,7 +130,7 @@ func (n *checkNode) Next() (schema.Row, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	if n.count < 0 { // validated at Open
+	if n.skip || n.sc.validated.Load() {
 		if ok {
 			n.stats.RowsOut++
 		} else {
@@ -85,20 +139,37 @@ func (n *checkNode) Next() (schema.Row, bool, error) {
 		return row, ok, nil
 	}
 	r := n.plan.Check.Range
-	n.ex.Meter.Add(n.ex.Cost.CheckRow)
-	n.touch()
 	if !ok {
 		n.stats.Done = true
-		if n.count < r.Lo {
-			return nil, false, n.violation(n.count, true)
+		if !n.eof {
+			n.eof = true
+			// The lower bound needs the complete edge cardinality, so it is
+			// tested only by whichever instance drains the last live stream.
+			// That final evaluation also carries the single end-of-stream
+			// CheckRow charge, keeping the work total DOP-independent.
+			if n.sc.streams.Add(-1) == 0 {
+				n.ex.Meter.Add(n.ex.Cost.CheckRow)
+				n.touch()
+				if c := float64(n.sc.count.Load()); c < r.Lo {
+					return nil, false, n.violation(c, true)
+				}
+			}
 		}
 		return nil, false, nil
 	}
-	n.count++
-	if n.count > r.Hi {
+	n.ex.Meter.Add(n.ex.Cost.CheckRow)
+	n.touch()
+	c := n.sc.count.Add(1)
+	if float64(c) > r.Hi {
 		// Eager detection: the actual cardinality is at least count — a
-		// lower bound that already proves the range violated.
-		return nil, false, n.violation(n.count, false)
+		// lower bound that already proves the range violated. Exactly one
+		// instance fires: the one whose increment first crossed the bound.
+		// Racing siblings past the bound stop emitting quietly and are
+		// cancelled by the enclosing exchange.
+		if c == int64(r.Hi)+1 {
+			return nil, false, n.violation(float64(c), false)
+		}
+		return nil, false, nil
 	}
 	n.stats.RowsOut++
 	return row, true, nil
@@ -116,9 +187,8 @@ func (n *checkNode) Rewind() error {
 	if err := rw.Rewind(); err != nil {
 		return err
 	}
-	if n.count >= 0 {
-		n.count = -1 // first pass validated the count
-	}
+	n.sc.validated.Store(true) // first pass validated the count
+	n.skip = true
 	n.stats.Done = false
 	return nil
 }

@@ -161,7 +161,7 @@ func TestHashJoinSpillCharges(t *testing.T) {
 		if _, err := Run(root); err != nil {
 			t.Fatal(err)
 		}
-		return meter.Work
+		return meter.Work()
 	}
 	roomy := run(1 << 30)
 	tight := run(1 << 10)

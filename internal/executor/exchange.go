@@ -1,0 +1,583 @@
+package executor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+)
+
+// This file implements morsel-style intra-query parallelism: exchange
+// operators (GATHER, and REPART folded into a partitioned hash join) that
+// fan a plan fragment out across DOP workers.
+//
+// Determinism contract: the simulated work total of a parallel plan is
+// bit-for-bit independent of the executed DOP. Every per-row charge uses the
+// same weights at every DOP, one-time charges (exchange setup, index
+// descent, spill staging) are issued exactly once per logical operator, and
+// the meter accumulates integer ticks so the summation order across workers
+// cannot perturb the total. Only wall-clock time scales with workers.
+//
+// Error contract: a CheckViolation (or any error) raised by one worker
+// cancels its siblings via context, and the consumer does not observe the
+// error until every worker of the exchange has flushed its local meter and
+// exited — so the POP controller always harvests a quiescent tree.
+
+// exchangeBuffer is the per-worker capacity of an exchange's output channel.
+const exchangeBuffer = 64
+
+// rowMsg carries one row or a terminal error from a worker to the consumer.
+type rowMsg struct {
+	row schema.Row
+	err error
+}
+
+// buildExchange dispatches a GATHER plan node to its executable form: a
+// partitioned hash join when the gathered child is a hash join over two
+// repartitioned inputs, a plain gather otherwise. Bare REPART nodes occur
+// only as children of a partitioned join and are consumed by it.
+func (e *Executor) buildExchange(p *optimizer.Plan) (Node, error) {
+	if p.ExKind == optimizer.ExRepart {
+		return nil, fmt.Errorf("executor: repartition exchange outside a partitioned hash join")
+	}
+	if c := p.Children[0]; c.Op == optimizer.OpHSJN && len(c.Children) == 2 &&
+		isRepartEdge(c.Children[0]) && isRepartEdge(c.Children[1]) {
+		return e.buildParallelHSJN(p, c)
+	}
+	return e.buildGather(p)
+}
+
+// isRepartEdge recognizes a repartitioned join input, possibly with CHECK
+// operators layered on the edge by the POP post-pass.
+func isRepartEdge(p *optimizer.Plan) bool {
+	for p.Op == optimizer.OpCheck {
+		p = p.Children[0]
+	}
+	return p.Op == optimizer.OpExchange && p.ExKind == optimizer.ExRepart
+}
+
+// stripRepart removes REPART exchange nodes from a join input's plan: the
+// partitioned join performs the repartitioning itself. CHECK nodes on the
+// edge are kept — their counters are shared across partition clones, so
+// their position inside the partition pipeline does not change what they
+// count.
+func stripRepart(p *optimizer.Plan) *optimizer.Plan {
+	if p.Op == optimizer.OpExchange && p.ExKind == optimizer.ExRepart {
+		return stripRepart(p.Children[0])
+	}
+	changed := false
+	kids := make([]*optimizer.Plan, len(p.Children))
+	for i, c := range p.Children {
+		kids[i] = stripRepart(c)
+		changed = changed || kids[i] != c
+	}
+	if !changed {
+		return p
+	}
+	n := optimizer.CloneNode(p)
+	copy(n.Children, kids)
+	return n
+}
+
+// applyPartition restricts every partitionable leaf of a clone to one morsel
+// stripe.
+func applyPartition(root Node, part, of int) {
+	Walk(root, func(n Node) {
+		if pn, ok := n.(partitioned); ok {
+			pn.setPartition(part, of)
+		}
+	})
+}
+
+// buildClones builds one partition clone of the plan per worker, each
+// charging a fresh worker-local meter.
+func (e *Executor) buildClones(p *optimizer.Plan, dop int) (clones []Node, meters []*Meter, err error) {
+	for i := 0; i < dop; i++ {
+		lm := &Meter{}
+		clone, err := e.workerCopy(lm).Build(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		applyPartition(clone, i, dop)
+		clones = append(clones, clone)
+		meters = append(meters, lm)
+	}
+	return clones, meters, nil
+}
+
+// exchangeStub stands in for an exchange edge in the executable tree: it
+// owns the partition clones of one plan fragment so tree walks (stats
+// harvesting, check collection) can see them, while the enclosing operator
+// drives the clones directly.
+type exchangeStub struct {
+	base
+}
+
+func newExchangeStub(p *optimizer.Plan, clones []Node) *exchangeStub {
+	return &exchangeStub{base: base{plan: p, children: clones}}
+}
+
+func (s *exchangeStub) Open() error                     { s.stats.Opened = true; return nil }
+func (s *exchangeStub) Next() (schema.Row, bool, error) { return nil, false, nil }
+func (s *exchangeStub) Close() error                    { return nil }
+
+// gatherNode runs DOP partition clones of its child concurrently and merges
+// their output streams in arrival order.
+type gatherNode struct {
+	base
+	ex     *Executor
+	dop    int
+	clones []Node
+	meters []*Meter
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	ch     chan rowMsg
+	wg     sync.WaitGroup
+	stop   sync.Once
+	opened bool
+}
+
+func (e *Executor) buildGather(p *optimizer.Plan) (Node, error) {
+	dop := e.dopFor(p)
+	clones, meters, err := e.buildClones(p.Children[0], dop)
+	if err != nil {
+		return nil, err
+	}
+	return &gatherNode{
+		base:   base{plan: p, children: clones},
+		ex:     e,
+		dop:    dop,
+		clones: clones,
+		meters: meters,
+	}, nil
+}
+
+func (n *gatherNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	n.ex.Meter.Add(n.ex.Cost.ExchangeSetup)
+	n.ctx, n.cancel = context.WithCancel(context.Background())
+	n.ch = make(chan rowMsg, n.dop*exchangeBuffer)
+	n.opened = true
+	for i := range n.clones {
+		n.wg.Add(1)
+		go func(i int) {
+			defer n.wg.Done()
+			defer n.meters[i].drain(n.ex.Meter)
+			runPartition(n.ctx, n.clones[i], n.ch)
+		}(i)
+	}
+	go func() {
+		n.wg.Wait()
+		close(n.ch)
+	}()
+	return nil
+}
+
+// runPartition drives one partition clone to completion, forwarding its rows
+// (or its terminal error) to the consumer. Cancellation is a quiet stop: the
+// canceller already holds the error that matters.
+func runPartition(ctx context.Context, clone Node, ch chan<- rowMsg) {
+	err := func() error {
+		if err := clone.Open(); err != nil {
+			return err
+		}
+		for {
+			if ctx.Err() != nil {
+				return nil
+			}
+			row, ok, err := clone.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			select {
+			case ch <- rowMsg{row: row}:
+			case <-ctx.Done():
+				return nil
+			}
+		}
+	}()
+	if cerr := clone.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		select {
+		case ch <- rowMsg{err: err}:
+		case <-ctx.Done():
+		}
+	}
+}
+
+func (n *gatherNode) Next() (schema.Row, bool, error) {
+	msg, ok := <-n.ch
+	if !ok {
+		n.stats.Done = true
+		return nil, false, nil
+	}
+	if msg.err != nil {
+		// Join the workers before surfacing the error: the POP controller
+		// harvests stats from a tree it must be able to assume quiescent.
+		n.abort()
+		return nil, false, msg.err
+	}
+	n.ex.Meter.Add(n.ex.Cost.ExchangeRow)
+	n.stats.RowsOut++
+	return msg.row, true, nil
+}
+
+// abort cancels outstanding workers and drains the channel until the closer
+// goroutine closes it, guaranteeing every worker has exited and flushed.
+func (n *gatherNode) abort() {
+	n.stop.Do(func() {
+		n.cancel()
+		for range n.ch {
+		}
+	})
+}
+
+func (n *gatherNode) Close() error {
+	if !n.opened {
+		return n.closeChildren()
+	}
+	n.abort() // workers close their own clones
+	return nil
+}
+
+// buildEntry is one hashed build row routed to a partition.
+type buildEntry struct {
+	row  schema.Row
+	hash uint64
+}
+
+// parallelHSJNNode is the partitioned hash join: DOP workers drain morsel
+// stripes of the build input and route rows to hash partitions by key hash;
+// DOP workers then build one hash table per partition; DOP probe workers
+// stream morsel stripes of the probe input, each probing only the partition
+// its row hashes to. Its Plan() is the underlying HSJN node, so stats
+// harvesting and build-reuse promotion see the join, not the exchange.
+type parallelHSJNNode struct {
+	base
+	ex    *Executor
+	gplan *optimizer.Plan // the GATHER above the join (exchange charges)
+	dop   int
+
+	probeKeys []int
+	buildKeys []int
+	filter    expr.Expr
+
+	probeClones, buildClones []Node
+	probeMeters, buildMeters []*Meter
+	probeStub, buildStub     *exchangeStub
+
+	parts      []map[uint64][]schema.Row
+	buildRows  []schema.Row
+	buildDone  bool
+	spillExtra float64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	ch     chan rowMsg
+	wg     sync.WaitGroup
+	stop   sync.Once
+	opened bool
+	probes bool // probe workers launched (ch live)
+}
+
+func (e *Executor) buildParallelHSJN(gp, jp *optimizer.Plan) (Node, error) {
+	dop := e.dopFor(gp)
+	n := &parallelHSJNNode{base: base{plan: jp}, ex: e, gplan: gp, dop: dop}
+	var err error
+	n.filter, err = e.remap(jp.Filter, jp.Cols)
+	if err != nil {
+		return nil, err
+	}
+	n.probeKeys, n.buildKeys, err = equiKeyPositions(jp)
+	if err != nil {
+		return nil, err
+	}
+	probePlan := stripRepart(jp.Children[0])
+	buildPlan := stripRepart(jp.Children[1])
+	n.probeClones, n.probeMeters, err = e.buildClones(probePlan, dop)
+	if err != nil {
+		return nil, err
+	}
+	n.buildClones, n.buildMeters, err = e.buildClones(buildPlan, dop)
+	if err != nil {
+		return nil, err
+	}
+	// The stubs carry the original (repartitioned) child plans so tree walks
+	// see the join's edges with their original metadata.
+	n.probeStub = newExchangeStub(jp.Children[0], n.probeClones)
+	n.buildStub = newExchangeStub(jp.Children[1], n.buildClones)
+	n.children = []Node{n.probeStub, n.buildStub}
+	return n, nil
+}
+
+// BuildMaterialized exposes the completed partitioned build for temp-MV
+// promotion, exactly like the serial hash join.
+func (n *parallelHSJNNode) BuildMaterialized() ([]schema.Row, int, bool) {
+	return n.buildRows, 1, n.buildDone
+}
+
+func (n *parallelHSJNNode) Open() error {
+	n.stats = NodeStats{Opened: true}
+	pr := &n.ex.Cost
+	// One setup charge per exchange in the plan fragment: the gather plus
+	// the two repartitions.
+	n.ex.Meter.Add(3 * pr.ExchangeSetup)
+	n.ctx, n.cancel = context.WithCancel(context.Background())
+	n.opened = true
+
+	// Phase 1: partitioned build. Each worker drains its morsel stripe into
+	// per-worker, per-partition buffers — no locks on the hot path.
+	bufs := make([][][]buildEntry, n.dop)
+	all := make([][]schema.Row, n.dop)
+	errs := make([]error, n.dop)
+	var wg sync.WaitGroup
+	for w := 0; w < n.dop; w++ {
+		bufs[w] = make([][]buildEntry, n.dop)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer n.buildMeters[w].drain(n.ex.Meter)
+			errs[w] = n.runBuildWorker(w, bufs[w], &all[w])
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Retain the complete build input (worker order, so the retained rows
+	// are deterministic for a given DOP) for temp-MV promotion.
+	total := 0
+	for w := range all {
+		total += len(all[w])
+	}
+	n.buildRows = make([]schema.Row, 0, total)
+	for w := range all {
+		n.buildRows = append(n.buildRows, all[w]...)
+	}
+	n.buildDone = true
+	n.buildStub.stats.RowsOut = float64(total)
+	n.buildStub.stats.Done = true
+
+	// Phase 2: one hash table per partition, built in parallel.
+	n.parts = make([]map[uint64][]schema.Row, n.dop)
+	for p := 0; p < n.dop; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cnt := 0
+			for w := 0; w < n.dop; w++ {
+				cnt += len(bufs[w][p])
+			}
+			table := make(map[uint64][]schema.Row, cnt)
+			for w := 0; w < n.dop; w++ {
+				for _, e := range bufs[w][p] {
+					table[e.hash] = append(table[e.hash], e.row)
+				}
+			}
+			n.parts[p] = table
+		}(p)
+	}
+	wg.Wait()
+
+	// Grace-hash staging charge, identical to the serial join's.
+	buildRows := float64(total)
+	width := float64(len(n.plan.Children[1].Cols)) * 12
+	stages := 1.0
+	if pr.MemoryBytes > 0 {
+		for buildRows*width > stages*pr.MemoryBytes {
+			stages++
+		}
+	}
+	if stages > 1 {
+		n.ex.Meter.Add((stages - 1) * buildRows * pr.SpillRow)
+		n.spillExtra = (stages - 1) * pr.SpillRow
+	}
+
+	// Phase 3: concurrent probe.
+	n.ch = make(chan rowMsg, n.dop*exchangeBuffer)
+	n.probes = true
+	for w := 0; w < n.dop; w++ {
+		n.wg.Add(1)
+		go n.runProbeWorker(w)
+	}
+	go func() {
+		n.wg.Wait()
+		// Aggregate the probe edge's stats before the close signals the
+		// consumer (channel close is the happens-before edge).
+		rows := 0.0
+		done := true
+		for _, c := range n.probeClones {
+			rows += c.Stats().RowsOut
+			done = done && c.Stats().Done
+		}
+		n.probeStub.stats.RowsOut = rows
+		n.probeStub.stats.Done = done
+		close(n.ch)
+	}()
+	return nil
+}
+
+// runBuildWorker drains one build stripe, retaining rows and routing keyed
+// rows into partition buffers. On error it cancels sibling workers.
+func (n *parallelHSJNNode) runBuildWorker(w int, bufs [][]buildEntry, all *[]schema.Row) error {
+	clone := n.buildClones[w]
+	pr := &n.ex.Cost
+	meter := n.buildMeters[w]
+	err := func() error {
+		if err := clone.Open(); err != nil {
+			return err
+		}
+		for {
+			if n.ctx.Err() != nil {
+				return nil
+			}
+			row, ok, err := clone.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			meter.Add(pr.ExchangeRow + pr.HashBuildRow)
+			*all = append(*all, row)
+			if h, keyed := hashKeyAt(row, n.buildKeys); keyed {
+				p := int(h % uint64(n.dop))
+				bufs[p] = append(bufs[p], buildEntry{row: row, hash: h})
+			}
+		}
+	}()
+	if cerr := clone.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		n.cancel()
+	}
+	return err
+}
+
+// runProbeWorker streams one probe stripe against the partitioned hash
+// tables (read-only after phase 2), emitting joined rows to the consumer.
+func (n *parallelHSJNNode) runProbeWorker(w int) {
+	defer n.wg.Done()
+	defer n.probeMeters[w].drain(n.ex.Meter)
+	clone := n.probeClones[w]
+	pr := &n.ex.Cost
+	meter := n.probeMeters[w]
+	err := func() error {
+		if err := clone.Open(); err != nil {
+			return err
+		}
+		for {
+			if n.ctx.Err() != nil {
+				return nil
+			}
+			row, ok, err := clone.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			meter.Add(pr.ExchangeRow + pr.HashProbeRow + n.spillExtra)
+			h, keyed := hashKeyAt(row, n.probeKeys)
+			if !keyed {
+				continue
+			}
+			for _, b := range n.parts[h%uint64(n.dop)][h] {
+				if !keysEqual(row, n.probeKeys, b, n.buildKeys) {
+					continue
+				}
+				joined := row.Concat(b)
+				keep, ferr := evalFilter(n.filter, n.ex.ectx, joined)
+				if ferr != nil {
+					return ferr
+				}
+				if !keep {
+					continue
+				}
+				meter.Add(pr.OutputRow)
+				select {
+				case n.ch <- rowMsg{row: joined}:
+				case <-n.ctx.Done():
+					return nil
+				}
+			}
+		}
+	}()
+	if cerr := clone.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		// Deliver the error before cancelling the siblings: the consumer (or
+		// an abort in progress) always drains the channel until the closer
+		// goroutine closes it, so a blocking send cannot deadlock — whereas
+		// cancelling first would race this send against the closed Done
+		// channel and could drop the violation.
+		n.ch <- rowMsg{err: err}
+		n.cancel()
+	}
+}
+
+func (n *parallelHSJNNode) Next() (schema.Row, bool, error) {
+	msg, ok := <-n.ch
+	if !ok {
+		n.stats.Done = true
+		return nil, false, nil
+	}
+	if msg.err != nil {
+		n.abort()
+		return nil, false, msg.err
+	}
+	n.ex.Meter.Add(n.ex.Cost.ExchangeRow)
+	n.stats.RowsOut++
+	return msg.row, true, nil
+}
+
+func (n *parallelHSJNNode) abort() {
+	n.stop.Do(func() {
+		n.cancel()
+		if n.probes {
+			for range n.ch {
+			}
+		}
+	})
+}
+
+func closeAll(nodes []Node) error {
+	var first error
+	for _, c := range nodes {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (n *parallelHSJNNode) Close() error {
+	if !n.opened {
+		if err := closeAll(n.probeClones); err != nil {
+			closeAll(n.buildClones)
+			return err
+		}
+		return closeAll(n.buildClones)
+	}
+	n.abort() // build workers already closed their clones; probe workers close theirs on exit
+	if !n.probes {
+		// Open failed during the build phase: the probe workers never
+		// launched, so their clones are closed here.
+		return closeAll(n.probeClones)
+	}
+	return nil
+}

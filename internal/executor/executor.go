@@ -13,6 +13,8 @@ package executor
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/expr"
@@ -22,17 +24,42 @@ import (
 	"repro/internal/types"
 )
 
-// Meter accumulates simulated work units across a (possibly re-optimized)
-// statement execution.
+// meterTick is the fixed-point scale of the work meter: one work unit is
+// 2^20 ticks. A power of two keeps every cost-model weight exactly
+// representable after rounding once, so the quantization is the same no
+// matter which worker performs a charge.
+const meterTick = 1 << 20
+
+// Meter accumulates simulated work units across a (possibly re-optimized,
+// possibly parallel) statement execution. Work is held in integer ticks
+// rather than a float64: integer addition is associative, so concurrent
+// workers charging in any interleaving produce bit-identical totals — the
+// determinism the paper's figures (and the cross-DOP acceptance tests)
+// rely on.
 type Meter struct {
-	Work float64
+	ticks atomic.Int64
 }
 
 // Add charges work units.
 func (m *Meter) Add(w float64) {
-	if m != nil {
-		m.Work += w
+	if m != nil && w != 0 {
+		m.ticks.Add(int64(math.Round(w * meterTick)))
 	}
+}
+
+// Work returns the accumulated work units.
+func (m *Meter) Work() float64 {
+	if m == nil {
+		return 0
+	}
+	return float64(m.ticks.Load()) / meterTick
+}
+
+// drain moves this meter's ticks into dst. Parallel workers charge a
+// worker-local meter (no contention on the hot path) and drain it into the
+// shared statement meter before exiting.
+func (m *Meter) drain(dst *Meter) {
+	dst.ticks.Add(m.ticks.Swap(0))
 }
 
 // NodeStats exposes an operator's runtime counters.
@@ -101,8 +128,15 @@ type Executor struct {
 	Meter  *Meter
 	Params []types.Datum
 
-	tabs []*catalog.Table
-	ectx *expr.Context
+	// DOP overrides the DOP recorded in exchange plan nodes at execution
+	// time (0 = use the plan's). Work charges are DOP-independent, so the
+	// parallel benchmarks use this to run one plan shape at several worker
+	// counts.
+	DOP int
+
+	tabs   []*catalog.Table
+	ectx   *expr.Context
+	checks *checkRegistry
 }
 
 // NewExecutor resolves the query's tables and prepares an executor.
@@ -126,18 +160,71 @@ func NewExecutor(cat *catalog.Catalog, q *logical.Query, params []types.Datum, c
 		Params: params,
 		tabs:   tabs,
 		ectx:   &expr.Context{Params: params},
+		checks: newCheckRegistry(),
 	}, nil
+}
+
+// workerCopy returns a shallow copy of the executor whose charges go to the
+// given worker-local meter. The copy shares the catalog, the expression
+// context (read-only at execution time) and the check registry, so CHECK
+// counting stays global across partition clones.
+func (e *Executor) workerCopy(m *Meter) *Executor {
+	we := *e
+	we.Meter = m
+	return &we
+}
+
+// dopFor resolves the execution DOP for an exchange plan node, honoring the
+// executor-level override.
+func (e *Executor) dopFor(p *optimizer.Plan) int {
+	d := p.DOP
+	if e.DOP > 0 {
+		d = e.DOP
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// layout maps query-global column ids to their positions in an operator's
+// output rows. Operators build one per input at construction time, so
+// resolving a column reference is one map lookup instead of a linear scan of
+// the layout per row.
+type layout map[int]int
+
+// layoutOf indexes a column layout. The first occurrence wins when an id
+// appears twice (matching the old linear scan's behavior).
+func layoutOf(cols []int) layout {
+	l := make(layout, len(cols))
+	for i, c := range cols {
+		if _, ok := l[c]; !ok {
+			l[c] = i
+		}
+	}
+	return l
+}
+
+// pos returns the position of global id g, with cols used for the error
+// message only.
+func (l layout) pos(cols []int, g int) (int, error) {
+	if i, ok := l[g]; ok {
+		return i, nil
+	}
+	return -1, fmt.Errorf("executor: column id %d not present in layout %v", g, cols)
 }
 
 // remap rewrites an expression's query-global column ids into positions in
 // the given output column layout.
 func (e *Executor) remap(ex expr.Expr, cols []int) (expr.Expr, error) {
+	if ex == nil {
+		return nil, nil
+	}
+	l := layoutOf(cols)
 	var missing error
 	out := expr.Remap(ex, func(g int) int {
-		for i, c := range cols {
-			if c == g {
-				return i
-			}
+		if i, ok := l[g]; ok {
+			return i
 		}
 		if missing == nil {
 			missing = fmt.Errorf("executor: column id %d not present in layout %v", g, cols)
@@ -145,16 +232,6 @@ func (e *Executor) remap(ex expr.Expr, cols []int) (expr.Expr, error) {
 		return -1
 	})
 	return out, missing
-}
-
-// colPos returns the position of global id g in cols or an error.
-func colPos(cols []int, g int) (int, error) {
-	for i, c := range cols {
-		if c == g {
-			return i, nil
-		}
-	}
-	return -1, fmt.Errorf("executor: column id %d not present in layout %v", g, cols)
 }
 
 // Build constructs the executable tree for a plan.
@@ -184,31 +261,55 @@ func (e *Executor) Build(p *optimizer.Plan) (Node, error) {
 		return e.buildProject(p)
 	case optimizer.OpCheck:
 		return e.buildCheck(p)
+	case optimizer.OpExchange:
+		return e.buildExchange(p)
 	default:
 		return nil, fmt.Errorf("executor: unsupported operator %s", p.Op)
 	}
 }
 
-// Run drains a node to completion, honoring the plan's LIMIT.
-func Run(n Node) ([]schema.Row, error) {
+// runPrealloc caps the cardinality-based preallocation of Run's output
+// slice, so a wildly overestimated plan cannot allocate unbounded memory up
+// front.
+const runPrealloc = 1 << 16
+
+// Run drains a node to completion, honoring the plan's LIMIT. The output
+// slice is preallocated from the plan's cardinality estimate, and a Close
+// error is surfaced (alongside any rows drained so far) instead of being
+// dropped.
+func Run(n Node) (rows []schema.Row, err error) {
 	if err := n.Open(); err != nil {
 		n.Close()
 		return nil, err
 	}
-	defer n.Close()
+	defer func() {
+		if cerr := n.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	limit := n.Plan().Limit
-	var out []schema.Row
+	est := int(n.Plan().Card)
+	if limit > 0 && limit < est {
+		est = limit
+	}
+	if est < 0 {
+		est = 0
+	}
+	if est > runPrealloc {
+		est = runPrealloc
+	}
+	rows = make([]schema.Row, 0, est)
 	for {
-		row, ok, err := n.Next()
-		if err != nil {
-			return out, err
+		row, ok, nerr := n.Next()
+		if nerr != nil {
+			return rows, nerr
 		}
 		if !ok {
-			return out, nil
+			return rows, nil
 		}
-		out = append(out, row)
-		if limit > 0 && len(out) >= limit {
-			return out, nil
+		rows = append(rows, row)
+		if limit > 0 && len(rows) >= limit {
+			return rows, nil
 		}
 	}
 }

@@ -364,7 +364,7 @@ func TestMeterAccumulates(t *testing.T) {
 	if _, err := Run(root); err != nil {
 		t.Fatal(err)
 	}
-	if meter.Work <= 0 {
+	if meter.Work() <= 0 {
 		t.Error("meter should accumulate work")
 	}
 }

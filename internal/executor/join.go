@@ -65,7 +65,7 @@ func (e *Executor) buildNLJN(p *optimizer.Plan) (Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		keyPos, err := colPos(p.Children[0].Cols, p.LookupCol)
+		keyPos, err := layoutOf(p.Children[0].Cols).pos(p.Children[0].Cols, p.LookupCol)
 		if err != nil {
 			return nil, err
 		}
@@ -256,19 +256,31 @@ func (e *Executor) buildHSJN(p *optimizer.Plan) (Node, error) {
 		build:  build,
 		filter: filter,
 	}
-	for i := range p.EquiLeft {
-		pk, err := colPos(p.Children[0].Cols, p.EquiLeft[i])
-		if err != nil {
-			return nil, err
-		}
-		bk, err := colPos(p.Children[1].Cols, p.EquiRight[i])
-		if err != nil {
-			return nil, err
-		}
-		n.probeKeys = append(n.probeKeys, pk)
-		n.buildKeys = append(n.buildKeys, bk)
+	n.probeKeys, n.buildKeys, err = equiKeyPositions(p)
+	if err != nil {
+		return nil, err
 	}
 	return n, nil
+}
+
+// equiKeyPositions resolves a join's equi-key global ids into positions in
+// the probe (child 0) and build (child 1) row layouts, each indexed once.
+func equiKeyPositions(p *optimizer.Plan) (probeKeys, buildKeys []int, err error) {
+	probeLay := layoutOf(p.Children[0].Cols)
+	buildLay := layoutOf(p.Children[1].Cols)
+	for i := range p.EquiLeft {
+		pk, err := probeLay.pos(p.Children[0].Cols, p.EquiLeft[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		bk, err := buildLay.pos(p.Children[1].Cols, p.EquiRight[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		probeKeys = append(probeKeys, pk)
+		buildKeys = append(buildKeys, bk)
+	}
+	return probeKeys, buildKeys, nil
 }
 
 func hashKeyAt(row schema.Row, keys []int) (uint64, bool) {
@@ -409,14 +421,11 @@ func (e *Executor) buildMGJN(p *optimizer.Plan) (Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	lk, err := colPos(p.Children[0].Cols, p.EquiLeft[0])
+	lks, rks, err := equiKeyPositions(p)
 	if err != nil {
 		return nil, err
 	}
-	rk, err := colPos(p.Children[1].Cols, p.EquiRight[0])
-	if err != nil {
-		return nil, err
-	}
+	lk, rk := lks[0], rks[0]
 	return &mgjnNode{
 		base:     base{plan: p, children: []Node{left, right}},
 		ex:       e,

@@ -10,7 +10,15 @@ import (
 	"repro/internal/types"
 )
 
-// tableScanNode scans a heap and applies the residual filter.
+// partitioned is implemented by leaf operators that can restrict themselves
+// to one disjoint morsel stripe of their input. The exchange runtime applies
+// it to every leaf of a partition clone.
+type partitioned interface {
+	setPartition(part, of int)
+}
+
+// tableScanNode scans a heap (or one morsel stripe of it) and applies the
+// residual filter.
 type tableScanNode struct {
 	base
 	ex     *Executor
@@ -18,6 +26,8 @@ type tableScanNode struct {
 	filter expr.Expr
 	npreds float64
 	it     *storage.TableIterator
+
+	part, parts int // morsel stripe (parts == 0 → whole heap)
 }
 
 func (e *Executor) buildTableScan(p *optimizer.Plan) (Node, error) {
@@ -37,8 +47,14 @@ func (e *Executor) buildTableScan(p *optimizer.Plan) (Node, error) {
 	}, nil
 }
 
+func (n *tableScanNode) setPartition(part, of int) { n.part, n.parts = part, of }
+
 func (n *tableScanNode) Open() error {
-	n.it = n.heap.Scan()
+	if n.parts > 1 {
+		n.it = n.heap.ScanPartition(n.part, n.parts)
+	} else {
+		n.it = n.heap.Scan()
+	}
 	n.stats = NodeStats{Opened: true}
 	return nil
 }
@@ -82,6 +98,8 @@ type indexScanNode struct {
 	npreds float64
 	rids   []schema.RID
 	pos    int
+
+	part, parts int // morsel stripe over the qualifying rids (parts == 0 → all)
 }
 
 func (e *Executor) buildIndexScan(p *optimizer.Plan) (Node, error) {
@@ -114,10 +132,20 @@ func (n *indexScanNode) bound(e expr.Expr, inc bool) (storage.Bound, error) {
 	return storage.Bound{Value: &v, Inclusive: inc}, nil
 }
 
+func (n *indexScanNode) setPartition(part, of int) { n.part, n.parts = part, of }
+
+// step returns the rid-list stride (1 when unpartitioned).
+func (n *indexScanNode) step() int {
+	if n.parts > 1 {
+		return n.parts
+	}
+	return 1
+}
+
 func (n *indexScanNode) Open() error {
 	n.stats = NodeStats{Opened: true}
 	n.rids = n.rids[:0]
-	n.pos = 0
+	n.pos = n.part
 	p := n.plan
 	lo, err := n.bound(p.IndexLo, p.IndexLoInc)
 	if err != nil {
@@ -128,7 +156,12 @@ func (n *indexScanNode) Open() error {
 		return err
 	}
 	pr := &n.ex.Cost
-	n.ex.Meter.Add(float64(n.ix.Height()) * pr.IndexLevel)
+	// The B+tree descent happens once per logical scan; in a partitioned
+	// scan only stripe 0 charges it so the work total matches the serial
+	// plan exactly.
+	if n.part == 0 {
+		n.ex.Meter.Add(float64(n.ix.Height()) * pr.IndexLevel)
+	}
 	n.ix.AscendRange(lo, hi, func(_ types.Datum, rid schema.RID) bool {
 		n.rids = append(n.rids, rid)
 		return true
@@ -137,7 +170,7 @@ func (n *indexScanNode) Open() error {
 }
 
 func (n *indexScanNode) Rewind() error {
-	n.pos = 0
+	n.pos = n.part
 	n.stats.Done = false
 	return nil
 }
@@ -146,7 +179,7 @@ func (n *indexScanNode) Next() (schema.Row, bool, error) {
 	pr := &n.ex.Cost
 	for n.pos < len(n.rids) {
 		rid := n.rids[n.pos]
-		n.pos++
+		n.pos += n.step()
 		row, err := n.ix.Table().Get(rid)
 		if err != nil {
 			return nil, false, err
@@ -167,11 +200,13 @@ func (n *indexScanNode) Next() (schema.Row, bool, error) {
 
 func (n *indexScanNode) Close() error { return nil }
 
-// mvScanNode streams a temporary materialized view.
+// mvScanNode streams a temporary materialized view (or one morsel stripe).
 type mvScanNode struct {
 	base
 	ex  *Executor
 	pos int
+
+	part, parts int
 }
 
 func (e *Executor) buildMVScan(p *optimizer.Plan) (Node, error) {
@@ -181,14 +216,23 @@ func (e *Executor) buildMVScan(p *optimizer.Plan) (Node, error) {
 	return &mvScanNode{base: base{plan: p}, ex: e}, nil
 }
 
+func (n *mvScanNode) setPartition(part, of int) { n.part, n.parts = part, of }
+
+func (n *mvScanNode) step() int {
+	if n.parts > 1 {
+		return n.parts
+	}
+	return 1
+}
+
 func (n *mvScanNode) Open() error {
 	n.stats = NodeStats{Opened: true}
-	n.pos = 0
+	n.pos = n.part
 	return nil
 }
 
 func (n *mvScanNode) Rewind() error {
-	n.pos = 0
+	n.pos = n.part
 	n.stats.Done = false
 	return nil
 }
@@ -200,7 +244,7 @@ func (n *mvScanNode) Next() (schema.Row, bool, error) {
 		return nil, false, nil
 	}
 	row := rows[n.pos]
-	n.pos++
+	n.pos += n.step()
 	n.ex.Meter.Add(n.ex.Cost.TempRead)
 	n.stats.RowsOut++
 	return row, true, nil

@@ -32,8 +32,9 @@ func (e *Executor) buildSort(p *optimizer.Plan) (Node, error) {
 		return nil, err
 	}
 	n := &sortNode{base: base{plan: p, children: []Node{child}}, ex: e}
+	lay := layoutOf(p.Children[0].Cols)
 	for _, k := range p.SortKeys {
-		pos, err := colPos(p.Children[0].Cols, k.Col)
+		pos, err := lay.pos(p.Children[0].Cols, k.Col)
 		if err != nil {
 			return nil, err
 		}
@@ -274,8 +275,9 @@ func (e *Executor) buildHashAgg(p *optimizer.Plan) (Node, error) {
 		return nil, err
 	}
 	n := &hashAggNode{base: base{plan: p, children: []Node{child}}, ex: e, items: p.Items}
+	lay := layoutOf(p.Children[0].Cols)
 	for _, g := range p.GroupBy {
-		pos, err := colPos(p.Children[0].Cols, g)
+		pos, err := lay.pos(p.Children[0].Cols, g)
 		if err != nil {
 			return nil, err
 		}

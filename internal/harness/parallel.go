@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/types"
+)
+
+// ParallelPoint is one (query, DOP) measurement of the parallel-execution
+// study. WorkUnits is deterministic simulated work — identical at every DOP
+// by construction — while WallNS is real wall-clock time and scales with the
+// cores the machine actually has.
+type ParallelPoint struct {
+	Query     string  `json:"query"`
+	DOP       int     `json:"dop"`
+	WorkUnits float64 `json:"work_units"`
+	WallNS    int64   `json:"wall_ns"`
+	Rows      int     `json:"rows"`
+	Speedup   float64 `json:"speedup"` // dop=1 wall-clock / this wall-clock
+}
+
+// parallelQuery names one query of the study.
+type parallelQuery struct {
+	name  string
+	query *logical.Query
+}
+
+// parallelQueries builds the study workload over a loaded TPC-H catalog:
+// a selective partitioned hash join (scan+probe dominate, few rows cross
+// the gather) and a plain gathered scan.
+func parallelQueries(cat *catalog.Catalog) ([]parallelQuery, error) {
+	jb := logical.NewBuilder(cat)
+	jb.AddTable("lineitem", "l")
+	jb.AddTable("orders", "o")
+	jb.Where(&expr.Cmp{Op: expr.EQ, L: jb.Col("l", "l_orderkey"), R: jb.Col("o", "o_orderkey")})
+	jb.Where(&expr.Cmp{Op: expr.GT, L: jb.Col("l", "l_quantity"), R: &expr.Const{Val: types.NewFloat(45)}})
+	jb.SelectCol("l", "l_orderkey")
+	jb.SelectCol("l", "l_quantity")
+	jb.SelectCol("o", "o_totalprice")
+	join, err := jb.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	sb := logical.NewBuilder(cat)
+	sb.AddTable("lineitem", "l")
+	sb.Where(&expr.Cmp{Op: expr.GT, L: sb.Col("l", "l_quantity"), R: &expr.Const{Val: types.NewFloat(48)}})
+	sb.SelectCol("l", "l_orderkey")
+	sb.SelectCol("l", "l_quantity")
+	scan, err := sb.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	return []parallelQuery{
+		{name: "hashjoin_lineitem_orders", query: join},
+		{name: "scan_lineitem", query: scan},
+	}, nil
+}
+
+// ParallelStudy plans each study query once at Workers=4 and executes that
+// single parallel plan at DOP 1, 2, 4, and 8, reporting simulated work,
+// wall-clock time, and row counts. The plan is fixed across DOPs so the
+// comparison isolates the runtime, not the optimizer.
+func ParallelStudy(cat *catalog.Catalog) ([]ParallelPoint, error) {
+	qs, err := parallelQueries(cat)
+	if err != nil {
+		return nil, err
+	}
+	var out []ParallelPoint
+	for _, pq := range qs {
+		opt := optimizer.New(cat)
+		opt.DisableNLJN = true
+		opt.DisableMGJN = true
+		opt.Model.Params.Workers = 4
+		plan, err := opt.Optimize(pq.query)
+		if err != nil {
+			return nil, fmt.Errorf("parallel study %s: %w", pq.name, err)
+		}
+		var base time.Duration
+		for _, dop := range []int{1, 2, 4, 8} {
+			meter := &executor.Meter{}
+			ex, err := executor.NewExecutor(cat, pq.query, nil, opt.Model.Params, meter)
+			if err != nil {
+				return nil, fmt.Errorf("parallel study %s dop=%d: %w", pq.name, dop, err)
+			}
+			ex.DOP = dop
+			root, err := ex.Build(plan)
+			if err != nil {
+				return nil, fmt.Errorf("parallel study %s dop=%d: %w", pq.name, dop, err)
+			}
+			start := time.Now()
+			rows, err := executor.Run(root)
+			if err != nil {
+				return nil, fmt.Errorf("parallel study %s dop=%d: %w", pq.name, dop, err)
+			}
+			elapsed := time.Since(start)
+			if dop == 1 {
+				base = elapsed
+			}
+			speedup := 0.0
+			if elapsed > 0 {
+				speedup = float64(base) / float64(elapsed)
+			}
+			out = append(out, ParallelPoint{
+				Query:     pq.name,
+				DOP:       dop,
+				WorkUnits: meter.Work(),
+				WallNS:    elapsed.Nanoseconds(),
+				Rows:      len(rows),
+				Speedup:   speedup,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteParallelJSON renders the study as indented JSON (BENCH_parallel.json).
+func WriteParallelJSON(w io.Writer, points []ParallelPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(points)
+}
+
+// WriteParallel renders the study as a human-readable table.
+func WriteParallel(w io.Writer, points []ParallelPoint) {
+	fmt.Fprintln(w, "Parallel execution study (fixed Workers=4 plan, varying runtime DOP)")
+	fmt.Fprintf(w, "%-26s %4s %14s %12s %8s %8s\n", "query", "dop", "work_units", "wall_ms", "rows", "speedup")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-26s %4d %14.0f %12.3f %8d %7.2fx\n",
+			p.Query, p.DOP, p.WorkUnits, float64(p.WallNS)/1e6, p.Rows, p.Speedup)
+	}
+}

@@ -31,6 +31,21 @@ type CostParams struct {
 	// ReoptInvoke is the fixed cost of one optimizer re-invocation
 	// (context switching; paper Fig. 12 shows it as a tiny gap).
 	ReoptInvoke float64
+
+	// Workers is the degree of parallelism available to the executor. At 1
+	// (the default) the optimizer emits purely serial plans, bit-for-bit
+	// identical to plans produced before exchanges existed.
+	Workers int
+
+	// ExchangeRow is the per-row cost of moving a row through an exchange:
+	// the partition hash plus the hand-off between producer and consumer.
+	// Charged once per row per exchange regardless of the executed DOP, so
+	// work totals stay deterministic.
+	ExchangeRow float64
+
+	// ExchangeSetup is the fixed cost of instantiating one exchange operator
+	// (spinning up workers and partition buffers).
+	ExchangeSetup float64
 }
 
 // DefaultCostParams returns the calibrated default weights.
@@ -51,6 +66,10 @@ func DefaultCostParams() CostParams {
 		SpillRow:     2.5,
 		MemoryBytes:  1 << 20,
 		ReoptInvoke:  500,
+
+		Workers:       1,
+		ExchangeRow:   0.05,
+		ExchangeSetup: 50,
 	}
 }
 
@@ -167,6 +186,13 @@ func (m *CostModel) Recost(p *Plan, cc, cs []float64) float64 {
 	case OpCheck:
 		n := cc[0]
 		return cs[0] + n*pr.CheckRow
+
+	case OpExchange:
+		// The charge models the data movement, not the concurrency: the same
+		// rows cross the exchange at any DOP, so the simulated work total is
+		// DOP-independent (wall-clock is what parallelism buys).
+		n := cc[0]
+		return cs[0] + pr.ExchangeSetup + n*pr.ExchangeRow
 
 	default:
 		return cs[0]

@@ -45,6 +45,8 @@ func explainNode(b *strings.Builder, p *Plan, q *logical.Query, depth int) {
 		if p.Check != nil {
 			fmt.Fprintf(b, "[%s #%d range=%s]", p.Check.Flavor, p.Check.ID, formatRange(p.Check.Range))
 		}
+	case OpExchange:
+		fmt.Fprintf(b, "[%s dop=%d]", p.ExKind, p.DOP)
 	}
 	fmt.Fprintf(b, "  card=%.1f cost=%.0f", p.Card, p.Cost)
 	if p.Filter != nil {

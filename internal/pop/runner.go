@@ -159,7 +159,7 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 			Plan:       plan,
 			Explain:    optimizer.Explain(plan, q),
 			Checks:     checks,
-			WorkBefore: meter.Work,
+			WorkBefore: meter.Work(),
 		}
 
 		ex, err := executor.NewExecutor(r.Cat, q, params, opt.Model.Params, meter)
@@ -202,7 +202,7 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 			}
 			res.CheckStats = collectCheckStats(root)
 			res.Attempts = append(res.Attempts, info)
-			res.Work = meter.Work
+			res.Work = meter.Work()
 			return res, nil
 		}
 
@@ -295,7 +295,10 @@ func (r *Runner) harvest(root executor.Node, q *logical.Query, fb *stats.Feedbac
 		}
 		for i, c := range n.Children() {
 			childWhole := whole
-			if p.Op == optimizer.OpNLJN && i == 1 {
+			// The inner side of an NLJN is re-scanned per outer row, and the
+			// children of an exchange are partition clones whose counters
+			// cover one morsel stripe each — neither is a whole-stream count.
+			if (p.Op == optimizer.OpNLJN && i == 1) || p.Op == optimizer.OpExchange {
 				childWhole = false
 			}
 			visit(c, childWhole)
@@ -311,29 +314,47 @@ func countsObservable(op optimizer.OpKind) bool {
 	switch op {
 	case optimizer.OpTableScan, optimizer.OpIndexScan, optimizer.OpHashLookup,
 		optimizer.OpNLJN, optimizer.OpHSJN, optimizer.OpMGJN,
-		optimizer.OpSort, optimizer.OpTemp:
+		optimizer.OpSort, optimizer.OpTemp, optimizer.OpExchange:
 		return true
 	default:
 		return false
 	}
 }
 
-// collectCheckStats gathers checkpoint timings from an executed tree.
+// collectCheckStats gathers checkpoint timings from an executed tree. In a
+// parallel plan one logical CHECK appears once per partition clone; the
+// instances are merged by their shared CheckMeta: rows seen sum across
+// clones, the first touch is the earliest and completion the latest.
 func collectCheckStats(root executor.Node) []CheckObservation {
 	var out []CheckObservation
+	index := make(map[*optimizer.CheckMeta]int)
 	executor.Walk(root, func(n executor.Node) {
 		p := n.Plan()
 		if p.Op != optimizer.OpCheck || p.Check == nil {
 			return
 		}
 		st := n.Stats()
-		out = append(out, CheckObservation{
-			Meta:      p.Check,
-			FirstWork: st.FirstWork,
-			DoneWork:  st.DoneWork,
-			RowsSeen:  st.RowsOut,
-			Touched:   st.Touched,
-		})
+		i, seen := index[p.Check]
+		if !seen {
+			index[p.Check] = len(out)
+			out = append(out, CheckObservation{
+				Meta:      p.Check,
+				FirstWork: st.FirstWork,
+				DoneWork:  st.DoneWork,
+				RowsSeen:  st.RowsOut,
+				Touched:   st.Touched,
+			})
+			return
+		}
+		obs := &out[i]
+		obs.RowsSeen += st.RowsOut
+		if st.Touched && (!obs.Touched || st.FirstWork < obs.FirstWork) {
+			obs.FirstWork = st.FirstWork
+		}
+		if st.DoneWork > obs.DoneWork {
+			obs.DoneWork = st.DoneWork
+		}
+		obs.Touched = obs.Touched || st.Touched
 	})
 	return out
 }
