@@ -9,6 +9,7 @@
 //	popbench -table 1
 //	popbench -fig 15 -dmvscale 1 -queries 39
 //	popbench -parallel            # parallel-runtime study → BENCH_parallel.json
+//	popbench -plancache           # plan-cache study → BENCH_plancache.json
 package main
 
 import (
@@ -34,10 +35,13 @@ func main() {
 		nq       = flag.Int("queries", dmv.NumQueries, "number of DMV queries for figures 15/16")
 		parallel = flag.Bool("parallel", false, "run the parallel-runtime study")
 		parOut   = flag.String("parout", "BENCH_parallel.json", "output path for the parallel study JSON")
+		pcache   = flag.Bool("plancache", false, "run the plan-cache study")
+		pcOut    = flag.String("plancacheout", "BENCH_plancache.json", "output path for the plan-cache study JSON")
+		sweeps   = flag.Int("sweeps", 3, "binding sweeps for the plan-cache study")
 	)
 	flag.Parse()
 
-	if !*all && *fig == 0 && *table == 0 && !*parallel {
+	if !*all && *fig == 0 && *table == 0 && !*parallel && !*pcache {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -138,6 +142,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *parOut)
 	}
 
+	runPlanCache := func() {
+		res, err := harness.PlanCacheStudy(loadTPCH(), *sweeps)
+		if err != nil {
+			fatal(err)
+		}
+		harness.WritePlanCache(os.Stdout, res)
+		f, err := os.Create(*pcOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WritePlanCacheJSON(f, res); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *pcOut)
+	}
+
 	if *all {
 		harness.WriteTable1(os.Stdout)
 		fmt.Println()
@@ -145,6 +169,8 @@ func main() {
 			run(n)
 		}
 		runParallel()
+		fmt.Println()
+		runPlanCache()
 		return
 	}
 	if *table == 1 {
@@ -158,6 +184,9 @@ func main() {
 	}
 	if *parallel {
 		runParallel()
+	}
+	if *pcache {
+		runPlanCache()
 	}
 }
 

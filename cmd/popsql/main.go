@@ -30,6 +30,7 @@ import (
 	"repro/internal/dmv"
 	"repro/internal/executor"
 	"repro/internal/optimizer"
+	"repro/internal/plancache"
 	"repro/internal/pop"
 	"repro/internal/sqlparse"
 	"repro/internal/tpch"
@@ -65,6 +66,9 @@ func main() {
 	fmt.Println(`POP is ON. Try: SELECT n_name, COUNT(*) AS n FROM nation, supplier WHERE n_nationkey = s_nationkey GROUP BY n_name;`)
 
 	popOn := true
+	// One plan cache for the whole session: repeated statements reuse their
+	// optimized plans when the validity-range guards allow it.
+	cache := plancache.New()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("popsql> ")
@@ -85,7 +89,7 @@ func main() {
 		case strings.HasPrefix(line, `\analyze`):
 			analyze(cat, strings.TrimSpace(strings.TrimPrefix(line, `\analyze`)))
 		default:
-			execute(cat, line, popOn)
+			execute(cat, cache, line, popOn)
 		}
 		fmt.Print("popsql> ")
 	}
@@ -166,7 +170,7 @@ func analyze(cat *catalog.Catalog, sql string) {
 	fmt.Printf("-- %d rows, %.0f work units\n", len(rows), meter.Work())
 }
 
-func execute(cat *catalog.Catalog, sql string, popOn bool) {
+func execute(cat *catalog.Catalog, cache *plancache.Cache, sql string, popOn bool) {
 	q, err := sqlparse.Parse(cat, strings.TrimSuffix(sql, ";"))
 	if err != nil {
 		fmt.Println("error:", err)
@@ -174,7 +178,7 @@ func execute(cat *catalog.Catalog, sql string, popOn bool) {
 	}
 	opts := pop.DefaultOptions()
 	opts.Enabled = popOn
-	res, err := pop.NewRunner(cat, opts).Run(q, nil)
+	res, info, err := plancache.NewRunner(cache, cat, opts).Run(q, nil)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -188,6 +192,15 @@ func execute(cat *catalog.Catalog, sql string, popOn bool) {
 		fmt.Println(row)
 	}
 	fmt.Printf("-- %d rows, %.0f work units, %d re-optimization(s)\n", len(res.Rows), res.Work, res.Reopts)
+	if info.Hit {
+		fmt.Printf("-- plan cache HIT: optimization skipped (%d guard estimates, %d candidate costings saved)\n",
+			info.OptWork, info.OptWorkSaved)
+	} else {
+		fmt.Printf("-- plan cache MISS: optimized %d candidates, plan cached\n", info.OptWork)
+	}
+	if info.Invalidated {
+		fmt.Println("-- plan cache: violated plan invalidated, re-optimized plan cached")
+	}
 	if res.Reopts > 0 {
 		for i, a := range res.Attempts {
 			if a.Violation != nil {

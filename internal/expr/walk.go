@@ -78,6 +78,54 @@ func Remap(e Expr, f func(pos int) int) Expr {
 	}
 }
 
+// BindParams returns a copy of the tree with every parameter marker replaced
+// by its bound constant. Markers whose id has no binding are left in place.
+// Trees without markers are returned unchanged (no copy). The plan cache uses
+// this to estimate a binding's true selectivities from histograms while the
+// cached plan itself keeps the markers and stays valid for other bindings.
+func BindParams(e Expr, params []types.Datum) Expr {
+	if e == nil || len(params) == 0 || !HasParam(e) {
+		return e
+	}
+	return bindParams(e, params)
+}
+
+func bindParams(e Expr, params []types.Datum) Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *Param:
+		if n.ID >= 0 && n.ID < len(params) {
+			return &Const{Val: params[n.ID]}
+		}
+		return n
+	case *Cmp:
+		return &Cmp{Op: n.Op, L: bindParams(n.L, params), R: bindParams(n.R, params)}
+	case *Logic:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = bindParams(a, params)
+		}
+		return &Logic{Op: n.Op, Args: args}
+	case *Not:
+		return &Not{E: bindParams(n.E, params)}
+	case *IsNull:
+		return &IsNull{E: bindParams(n.E, params), Negate: n.Negate}
+	case *InList:
+		list := make([]Expr, len(n.List))
+		for i, a := range n.List {
+			list[i] = bindParams(a, params)
+		}
+		return &InList{Input: bindParams(n.Input, params), List: list}
+	case *Arith:
+		return &Arith{Op: n.Op, L: bindParams(n.L, params), R: bindParams(n.R, params)}
+	case *Like:
+		return NewLike(bindParams(n.Input, params), n.Pattern, n.Negate)
+	default:
+		return e
+	}
+}
+
 // Conjuncts flattens nested ANDs into a list of conjuncts. Non-AND
 // expressions come back as a single-element list.
 func Conjuncts(e Expr) []Expr {

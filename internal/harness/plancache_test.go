@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlanCacheStudy(t *testing.T) {
+	cat := tpchCat(t)
+	res, err := PlanCacheStudy(cat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached.Executions != res.Reoptimize.Executions || res.Cached.Executions == 0 {
+		t.Fatalf("sides must run the same workload: %d vs %d",
+			res.Cached.Executions, res.Reoptimize.Executions)
+	}
+	if res.Cached.Hits == 0 {
+		t.Error("repeated sweeps must produce cache hits")
+	}
+	if res.HitRate < 0.5 {
+		t.Errorf("hit rate %.2f below 0.5 after 3 sweeps", res.HitRate)
+	}
+	// Acceptance: a hit costs ≥5× less optimization work than re-optimizing,
+	// so across the sweep (misses included) total work saved stays large.
+	if res.OptWorkRatio < 5 {
+		t.Errorf("optimization work saved %.1fx, want ≥5x", res.OptWorkRatio)
+	}
+	// Acceptance: reusing guarded plans must not cost execution work — total
+	// stays within 5% of always-reoptimize.
+	if math.Abs(res.ExecRatio-1) > 0.05 {
+		t.Errorf("execution work ratio %.3f outside 1±0.05", res.ExecRatio)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePlanCacheJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"hit_rate\"") {
+		t.Error("JSON output missing hit_rate")
+	}
+	buf.Reset()
+	WritePlanCache(&buf, res)
+	if !strings.Contains(buf.String(), "hit rate") {
+		t.Error("table output missing summary line")
+	}
+}

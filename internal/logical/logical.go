@@ -253,6 +253,37 @@ func (q *Query) String() string {
 	return b.String()
 }
 
+// BindParams returns a copy of q with every parameter marker replaced by its
+// bound constant. The copy shares the (immutable) table references, schemas
+// and global-id layout with q; only expression trees containing markers are
+// rewritten. Queries without markers — or empty bindings — come back as q
+// itself. Binding is an estimation-side tool: the optimizer and the plan
+// cache estimate selectivities and compute feedback signatures on the bound
+// copy while the executable plan keeps the markers.
+func BindParams(q *Query, params []types.Datum) *Query {
+	if q.NumParams == 0 || len(params) == 0 {
+		return q
+	}
+	c := *q
+	c.Where = make([]expr.Expr, len(q.Where))
+	for i, p := range q.Where {
+		c.Where[i] = expr.BindParams(p, params)
+	}
+	c.Select = make([]SelectItem, len(q.Select))
+	for i, s := range q.Select {
+		c.Select[i] = SelectItem{Agg: s.Agg, E: expr.BindParams(s.E, params), Name: s.Name}
+	}
+	c.GroupBy = make([]expr.Expr, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		c.GroupBy[i] = expr.BindParams(g, params)
+	}
+	c.OrderBy = make([]OrderItem, len(q.OrderBy))
+	for i, o := range q.OrderBy {
+		c.OrderBy[i] = OrderItem{E: expr.BindParams(o.E, params), Desc: o.Desc}
+	}
+	return &c
+}
+
 // Builder constructs resolved queries against a catalog.
 type Builder struct {
 	cat   *catalog.Catalog

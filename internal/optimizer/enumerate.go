@@ -8,6 +8,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/logical"
 	"repro/internal/stats"
+	"repro/internal/types"
 )
 
 // Optimizer is the cost-based query optimizer. The zero value is not usable;
@@ -58,6 +59,21 @@ type Optimizer struct {
 	// GreedyThreshold is the table count beyond which exhaustive DP yields
 	// to greedy left-deep enumeration.
 	GreedyThreshold int
+
+	// ParamBindings, when non-empty, binds the query's parameter markers to
+	// these values for estimation only: the estimator sees `col <= 5` where
+	// the query says `col <= ?0`, so cardinalities come from histograms
+	// instead of default selectivities. The emitted plan still carries the
+	// markers (marker predicates are never sargable, so plan shape and
+	// expressions are binding-independent) and remains executable under any
+	// future binding — the property the plan cache relies on.
+	ParamBindings []types.Datum
+
+	// EnumeratedCandidates is set by each Optimize call to the number of
+	// candidate plans the enumeration costed — the measure of optimization
+	// work a plan-cache hit avoids. Like the rest of the struct it is not
+	// safe for concurrent Optimize calls on one Optimizer.
+	EnumeratedCandidates int
 }
 
 // New returns an optimizer with default cost parameters and validity-range
@@ -80,6 +96,20 @@ type planner struct {
 	// best maps a table subset to its best plans keyed by output order
 	// (-1 = unordered).
 	best map[uint64]map[int]*Plan
+
+	// candidates counts addCandidate offers (see EnumeratedCandidates).
+	candidates int
+
+	// joinPreds is the precomputed join-predicate index: every multi-table
+	// WHERE conjunct with its table mask, in WHERE order. joinPredsBetween
+	// filters it with mask arithmetic instead of re-walking expression trees
+	// for every (subset, table) pair the enumeration probes.
+	joinPreds []predMask
+
+	// predScratch backs joinPredsBetween's result between calls. Callers
+	// never retain the slice (Conjoin and equiPairs both copy what they
+	// keep), so one buffer serves the whole enumeration.
+	predScratch []expr.Expr
 }
 
 // Optimize compiles the query into the cheapest physical plan, computing
@@ -93,14 +123,25 @@ func (o *Optimizer) Optimize(q *logical.Query) (*Plan, error) {
 		}
 		tabs[i] = t
 	}
+	// Estimation runs against the bound query when parameter bindings are
+	// supplied; plan construction always uses the marker query. The two are
+	// structurally identical (same tables, same global-id layout), so masks
+	// and column ids transfer directly.
+	estQ := q
+	if len(o.ParamBindings) > 0 {
+		estQ = logical.BindParams(q, o.ParamBindings)
+	}
 	pl := &planner{
 		opt:  o,
 		q:    q,
 		tabs: tabs,
-		est:  newEstimator(q, tabs, o.Feedback),
+		est:  newEstimator(estQ, tabs, o.Feedback),
 		best: make(map[uint64]map[int]*Plan),
 	}
 	pl.est.uncertainty = o.UncertaintyPenalty
+	for _, p := range q.JoinPredicates() {
+		pl.joinPreds = append(pl.joinPreds, predMask{pred: p, mask: q.TablesUsed(p)})
+	}
 	o.Model.RobustnessBonus = o.RobustnessBonus
 	for ti := range tabs {
 		for _, ap := range pl.baseAccessPaths(ti) {
@@ -114,10 +155,12 @@ func (o *Optimizer) Optimize(q *logical.Query) (*Plan, error) {
 			pl.enumerateDP(full)
 		} else {
 			if err := pl.enumerateGreedy(full); err != nil {
+				o.EnumeratedCandidates = pl.candidates
 				return nil, err
 			}
 		}
 	}
+	o.EnumeratedCandidates = pl.candidates
 	join := pl.bestOf(full)
 	if join == nil {
 		return nil, maskError(pl.est, full)
@@ -247,6 +290,7 @@ func (o *Optimizer) parallelJoin(p *Plan) *Plan {
 // addCandidate offers a plan for its subset/order slot, pruning against the
 // incumbent and narrowing the winner's validity ranges per §2.2.
 func (pl *planner) addCandidate(cand *Plan) {
+	pl.candidates++
 	group := pl.best[cand.tables]
 	if group == nil {
 		group = make(map[int]*Plan)
@@ -606,16 +650,17 @@ func (pl *planner) enumerateGreedy(full uint64) error {
 }
 
 // joinPredsBetween returns the join predicates connecting subset rest with
-// table ti.
+// table ti. The result aliases predScratch and is only valid until the next
+// call; callers copy anything they keep.
 func (pl *planner) joinPredsBetween(rest uint64, ti int) []expr.Expr {
 	bit := uint64(1) << uint(ti)
-	var out []expr.Expr
-	for _, p := range pl.q.JoinPredicates() {
-		used := pl.q.TablesUsed(p)
-		if used&bit != 0 && used&rest != 0 && used&^(rest|bit) == 0 {
-			out = append(out, p)
+	out := pl.predScratch[:0]
+	for _, jp := range pl.joinPreds {
+		if jp.mask&bit != 0 && jp.mask&rest != 0 && jp.mask&^(rest|bit) == 0 {
+			out = append(out, jp.pred)
 		}
 	}
+	pl.predScratch = out
 	return out
 }
 

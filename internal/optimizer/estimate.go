@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -23,17 +24,54 @@ type estimator struct {
 	// uncertainty inflates estimates not backed by feedback during a
 	// re-optimization (>1 enables; see Optimizer.UncertaintyPenalty).
 	uncertainty float64
+
+	// Fast-path state. The DP enumerator asks for the same subset
+	// cardinalities, signatures and predicate selectivities many times per
+	// Optimize call, and each uncached answer walks expression trees or
+	// builds strings. Everything below is derived purely from the fields
+	// above, which are immutable for the estimator's lifetime, so memoizing
+	// returns bit-identical values in identical call orders.
+	lk        stats.Lookup       // interned lookup closure
+	fbHas     bool               // fb had entries at construction
+	joinPreds []predMask         // join predicates with cached table masks
+	joinSel   []float64          // memoized joinPredSelectivity (NaN = unset)
+	baseCard  []float64          // memoized filteredBaseCard (NaN = unset)
+	subsets   map[uint64]float64 // memoized SubsetCard
+	sigs      map[uint64]string  // memoized Signature
+}
+
+// predMask pairs a predicate with its precomputed table mask, saving the
+// expression walk TablesUsed performs on every call.
+type predMask struct {
+	pred expr.Expr
+	mask uint64
 }
 
 func newEstimator(q *logical.Query, tabs []*catalog.Table, fb *stats.Feedback) *estimator {
-	return &estimator{q: q, tabs: tabs, fb: fb}
+	e := &estimator{q: q, tabs: tabs, fb: fb}
+	e.lk = func(pos int) *stats.ColumnStats { return e.statsLookup(pos) }
+	e.fbHas = fb != nil && fb.Len() > 0
+	for _, p := range q.JoinPredicates() {
+		e.joinPreds = append(e.joinPreds, predMask{pred: p, mask: q.TablesUsed(p)})
+	}
+	e.joinSel = make([]float64, len(e.joinPreds))
+	e.baseCard = make([]float64, len(tabs))
+	for i := range e.joinSel {
+		e.joinSel[i] = math.NaN()
+	}
+	for i := range e.baseCard {
+		e.baseCard[i] = math.NaN()
+	}
+	e.subsets = make(map[uint64]float64)
+	e.sigs = make(map[uint64]string)
+	return e
 }
 
 // uncertain applies the §7 uncertainty penalty to a non-observed estimate.
 // It is active only during re-optimization (the feedback cache has entries)
 // and only when the optimizer enables it.
 func (e *estimator) uncertain(card float64) float64 {
-	if e.uncertainty > 1 && e.fb != nil && e.fb.Len() > 0 {
+	if e.uncertainty > 1 && e.fbHas {
 		return card * e.uncertainty
 	}
 	return card
@@ -49,9 +87,7 @@ func (e *estimator) statsLookup(g int) *stats.ColumnStats {
 }
 
 // lookup adapts statsLookup to the stats package's Lookup type.
-func (e *estimator) lookup() stats.Lookup {
-	return func(pos int) *stats.ColumnStats { return e.statsLookup(pos) }
-}
+func (e *estimator) lookup() stats.Lookup { return e.lk }
 
 // Signature builds the canonical plan-edge signature for a table subset of
 // the query: the sorted aliases of the tables joined plus the sorted
@@ -78,8 +114,16 @@ func Signature(q *logical.Query, mask uint64) string {
 	return "T{" + strings.Join(aliases, ",") + "}|P{" + strings.Join(preds, ";") + "}"
 }
 
-// Signature is the estimator-local shorthand for Signature(q, mask).
-func (e *estimator) Signature(mask uint64) string { return Signature(e.q, mask) }
+// Signature is the estimator-local shorthand for Signature(q, mask),
+// memoized per mask.
+func (e *estimator) Signature(mask uint64) string {
+	if s, ok := e.sigs[mask]; ok {
+		return s
+	}
+	s := Signature(e.q, mask)
+	e.sigs[mask] = s
+	return s
+}
 
 // predSignature renders a predicate with column refs spelled as
 // alias.column, independent of global-id numbering.
@@ -98,8 +142,17 @@ func predSignature(q *logical.Query, p expr.Expr) string {
 func (e *estimator) baseTableCard(ti int) float64 { return e.tabs[ti].RowCount() }
 
 // filteredBaseCard estimates the cardinality of table ti after its local
-// predicates, preferring feedback.
+// predicates, preferring feedback. Memoized per table.
 func (e *estimator) filteredBaseCard(ti int) float64 {
+	if !math.IsNaN(e.baseCard[ti]) {
+		return e.baseCard[ti]
+	}
+	card := e.filteredBaseCardUncached(ti)
+	e.baseCard[ti] = card
+	return card
+}
+
+func (e *estimator) filteredBaseCardUncached(ti int) float64 {
 	if e.fb != nil {
 		if card, ok := e.fb.Get(e.Signature(1 << uint(ti))); ok {
 			return card
@@ -124,8 +177,18 @@ func (e *estimator) joinPredSelectivity(p expr.Expr) float64 {
 }
 
 // SubsetCard estimates the output cardinality of joining the table subset,
-// preferring feedback for the exact subset.
+// preferring feedback for the exact subset. Memoized per mask; selectivities
+// of individual join predicates are memoized across masks.
 func (e *estimator) SubsetCard(mask uint64) float64 {
+	if card, ok := e.subsets[mask]; ok {
+		return card
+	}
+	card := e.subsetCardUncached(mask)
+	e.subsets[mask] = card
+	return card
+}
+
+func (e *estimator) subsetCardUncached(mask uint64) float64 {
 	if e.fb != nil {
 		if card, ok := e.fb.Get(e.Signature(mask)); ok {
 			return card
@@ -137,10 +200,12 @@ func (e *estimator) SubsetCard(mask uint64) float64 {
 			card *= e.filteredBaseCard(i)
 		}
 	}
-	for _, p := range e.q.JoinPredicates() {
-		used := e.q.TablesUsed(p)
-		if used&mask == used {
-			card *= e.joinPredSelectivity(p)
+	for i, jp := range e.joinPreds {
+		if jp.mask&mask == jp.mask {
+			if math.IsNaN(e.joinSel[i]) {
+				e.joinSel[i] = e.joinPredSelectivity(jp.pred)
+			}
+			card *= e.joinSel[i]
 		}
 	}
 	if card < 0 {

@@ -15,7 +15,7 @@ import (
 
 // fixture: a skewed two-table join (big fact, small dim) plus a third table,
 // mirroring the situations the paper's examples use.
-func fixture(t *testing.T) *catalog.Catalog {
+func fixture(t testing.TB) *catalog.Catalog {
 	t.Helper()
 	c := catalog.New()
 	dim, err := c.CreateTable("dim", schema.New(
@@ -69,7 +69,7 @@ func fixture(t *testing.T) *catalog.Catalog {
 	return c
 }
 
-func selectiveJoinQuery(t *testing.T, cat *catalog.Catalog, hi int64) *logical.Query {
+func selectiveJoinQuery(t testing.TB, cat *catalog.Catalog, hi int64) *logical.Query {
 	t.Helper()
 	b := logical.NewBuilder(cat)
 	b.AddTable("dim", "d")

@@ -1,0 +1,343 @@
+package plancache
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/pop"
+	"repro/internal/schema"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+var (
+	tpchOnce sync.Once
+	tpchDB   *catalog.Catalog
+	tpchErr  error
+)
+
+func tpchFixture(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	tpchOnce.Do(func() {
+		tpchDB = catalog.New()
+		tpchErr = tpch.Load(tpchDB, tpch.Config{ScaleFactor: 0.003, Seed: 42})
+	})
+	if tpchErr != nil {
+		t.Fatal(tpchErr)
+	}
+	return tpchDB
+}
+
+// correlatedFixture reproduces the paper's canonical mis-estimation scenario
+// (three perfectly correlated predicates, 25× under-estimate) at a size small
+// enough for a unit test: the initial plan picks an index NLJN and a CHECK
+// violation flips it to a hash join.
+func correlatedFixture(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	orders, err := c.CreateTable("orders", schema.New(
+		schema.Column{Name: "o_id", Type: types.KindInt},
+		schema.Column{Name: "o_cust", Type: types.KindInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		orders.Heap.MustInsert(schema.Row{
+			types.NewInt(int64(i)), types.NewInt(int64(i % 500)),
+		})
+	}
+	line, err := c.CreateTable("lineitem", schema.New(
+		schema.Column{Name: "l_order", Type: types.KindInt},
+		schema.Column{Name: "l_qty", Type: types.KindFloat},
+		schema.Column{Name: "l_c1", Type: types.KindInt},
+		schema.Column{Name: "l_c2", Type: types.KindInt},
+		schema.Column{Name: "l_c3", Type: types.KindInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40000; i++ {
+		corr := int64(i % 10) // l_c1 = l_c2 = l_c3: perfect correlation
+		line.Heap.MustInsert(schema.Row{
+			types.NewInt(int64(i % 20000)),
+			types.NewFloat(float64(i % 50)),
+			types.NewInt(corr), types.NewInt(corr), types.NewInt(corr),
+		})
+	}
+	if _, err := c.CreateBTreeIndex("orders_pk", "orders", "o_id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func correlatedQuery(t *testing.T, cat *catalog.Catalog) *logical.Query {
+	t.Helper()
+	b := logical.NewBuilder(cat)
+	b.AddTable("lineitem", "l")
+	b.AddTable("orders", "o")
+	b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("l", "l_order"), R: b.Col("o", "o_id")})
+	two := &expr.Const{Val: types.NewInt(2)}
+	b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("l", "l_c1"), R: two})
+	b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("l", "l_c2"), R: two})
+	b.Where(&expr.Cmp{Op: expr.LT, L: b.Col("l", "l_c3"), R: two})
+	b.SelectCol("l", "l_qty")
+	b.SelectCol("o", "o_cust")
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func q10Param(t testing.TB, cat *catalog.Catalog) *logical.Query {
+	t.Helper()
+	q, err := tpch.Q10Param(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestKeyNormalization(t *testing.T) {
+	cat := tpchFixture(t)
+	q1 := q10Param(t, cat)
+	q2 := q10Param(t, cat)
+	if Key(q1) != Key(q2) {
+		t.Errorf("two builds of the same statement must share a key:\n%s\n%s", Key(q1), Key(q2))
+	}
+	lit25, err := tpch.Q10Literal(cat, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit30, err := tpch.Q10Literal(cat, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Key(q1) == Key(lit25) {
+		t.Error("a marker statement and a literal statement must not collide")
+	}
+	if Key(lit25) == Key(lit30) {
+		t.Error("different literal statements must not collide")
+	}
+}
+
+func TestHitSkipsOptimization(t *testing.T) {
+	cat := tpchFixture(t)
+	q := q10Param(t, cat)
+	r := NewRunner(New(), cat, pop.DefaultOptions())
+	params := []types.Datum{types.NewFloat(25)}
+
+	res1, info1, err := r.Run(q, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1.Hit {
+		t.Fatal("first execution must miss")
+	}
+	if info1.OptWork == 0 {
+		t.Fatal("a miss must report enumeration work")
+	}
+	res2, info2, err := r.Run(q, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.Hit {
+		t.Fatal("identical binding must hit")
+	}
+	// Acceptance: a hit's optimization work is at least 5× below a miss's.
+	if info2.OptWork*5 > info1.OptWork {
+		t.Errorf("hit work %d not ≥5× below miss work %d", info2.OptWork, info1.OptWork)
+	}
+	if info2.OptWorkSaved <= 0 {
+		t.Errorf("hit must report positive work saved, got %d", info2.OptWorkSaved)
+	}
+	if len(res1.Rows) != len(res2.Rows) {
+		t.Errorf("cached execution changed the result: %d vs %d rows", len(res1.Rows), len(res2.Rows))
+	}
+	st := r.Cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats: want 1 hit / 1 miss, got %+v", st)
+	}
+}
+
+// TestOutOfRangeNeverReuses is the white-box guard check: a cached plan with
+// a bounded guard must never be served to a binding whose estimate falls
+// outside the range.
+func TestOutOfRangeNeverReuses(t *testing.T) {
+	c := catalog.New()
+	tab, err := c.CreateTable("t", schema.New(
+		schema.Column{Name: "a", Type: types.KindInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tab.Heap.MustInsert(schema.Row{types.NewInt(int64(i))})
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	b := logical.NewBuilder(c)
+	b.AddTable("t", "t")
+	b.SelectCol("t", "a")
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := New()
+	entry := cache.Entry(Key(q))
+	reject := &CachedPlan{
+		Plan:    &optimizer.Plan{},
+		Guards:  []optimizer.Guard{{Tables: 1, Range: optimizer.Range{Lo: 0, Hi: 50}, EstCard: 25}},
+		Explain: "out-of-range",
+	}
+	entry.Insert(reject, cache.maxPlans())
+
+	// The binding's estimate for subset {t} is 100 rows — outside [0, 50].
+	ce, err := optimizer.NewCardEstimator(c, q, entry.Feedback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entry.Lookup(ce); got != nil {
+		t.Fatalf("out-of-range binding must not reuse the cached plan, got %q", got.Explain)
+	}
+
+	// The same guard with the estimate in range is served.
+	accept := &CachedPlan{
+		Plan:    &optimizer.Plan{},
+		Guards:  []optimizer.Guard{{Tables: 1, Range: optimizer.Range{Lo: 50, Hi: 200}, EstCard: 100}},
+		Explain: "in-range",
+	}
+	entry.Insert(accept, cache.maxPlans())
+	ce2, err := optimizer.NewCardEstimator(c, q, entry.Feedback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := entry.Lookup(ce2)
+	if got == nil || got.Explain != "in-range" {
+		t.Fatalf("in-range binding must reuse the guarded plan, got %v", got)
+	}
+}
+
+// TestViolationInvalidatesEntry drives the full invalidation loop on the
+// paper's correlated mis-estimation: the first execution caches an index-NLJN
+// plan, a CHECK violation mid-run invalidates it, and the subsequent
+// identical execution is served the re-optimized (hash-join) plan without
+// re-optimizing again.
+func TestViolationInvalidatesEntry(t *testing.T) {
+	cat := correlatedFixture(t)
+	q := correlatedQuery(t, cat)
+	r := NewRunner(New(), cat, pop.DefaultOptions())
+
+	res1, info1, err := r.Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Reopts == 0 {
+		t.Fatal("fixture should trigger a re-optimization on the first run")
+	}
+	if !info1.Invalidated {
+		t.Fatal("a violated run must invalidate the cached plan")
+	}
+	entry := r.Cache.Entry(Key(q))
+	plans := entry.Plans()
+	if len(plans) != 1 {
+		t.Fatalf("entry should hold exactly the re-optimized plan, got %d", len(plans))
+	}
+	if strings.Contains(plans[0].Explain, "NLJN[index]") {
+		t.Fatalf("invalidated NLJN plan still cached:\n%s", plans[0].Explain)
+	}
+
+	res2, info2, err := r.Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.Hit {
+		t.Fatal("subsequent identical execution must hit the re-optimized plan")
+	}
+	if res2.Reopts != 0 {
+		t.Fatalf("the re-optimized plan must run clean, got %d reopts", res2.Reopts)
+	}
+	if got := optimizer.Explain(res2.Attempts[0].Optimized, q); got != plans[0].Explain {
+		t.Errorf("served plan differs from the cached re-optimized plan:\n%s\nvs\n%s",
+			got, plans[0].Explain)
+	}
+	if len(res1.Rows) != len(res2.Rows) {
+		t.Errorf("results differ across cache states: %d vs %d rows", len(res1.Rows), len(res2.Rows))
+	}
+	if st := r.Cache.Stats(); st.Invalidations != 1 {
+		t.Errorf("want 1 invalidation, got %+v", st)
+	}
+}
+
+// TestCacheDisabledMatchesPlainRunner pins the acceptance requirement that a
+// nil cache degenerates to the plain POP runner bit-for-bit (same rows, same
+// work totals, same re-optimization count).
+func TestCacheDisabledMatchesPlainRunner(t *testing.T) {
+	cat := correlatedFixture(t)
+	q := correlatedQuery(t, cat)
+
+	plain, err := pop.NewRunner(cat, pop.DefaultOptions()).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCacheNil, _, err := NewRunner(nil, cat, pop.DefaultOptions()).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Work != viaCacheNil.Work {
+		t.Errorf("work diverged: plain %v vs nil-cache %v", plain.Work, viaCacheNil.Work)
+	}
+	if plain.Reopts != viaCacheNil.Reopts {
+		t.Errorf("reopts diverged: plain %d vs nil-cache %d", plain.Reopts, viaCacheNil.Reopts)
+	}
+	if len(plain.Rows) != len(viaCacheNil.Rows) {
+		t.Errorf("rows diverged: plain %d vs nil-cache %d", len(plain.Rows), len(viaCacheNil.Rows))
+	}
+}
+
+// TestConcurrentRuns hammers one shared Runner from several goroutines with
+// varying bindings; run under -race it validates the cache's locking and the
+// shared per-entry feedback.
+func TestConcurrentRuns(t *testing.T) {
+	cat := tpchFixture(t)
+	q := q10Param(t, cat)
+	r := NewRunner(New(), cat, pop.DefaultOptions())
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, qty := range []float64{5, 25, 45, 25} {
+				if _, _, err := r.Run(q, []types.Datum{types.NewFloat(qty)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := r.Cache.Stats()
+	if st.Hits+st.Misses != 16 {
+		t.Errorf("want 16 lookups, got %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Errorf("repeated bindings should produce hits, got %+v", st)
+	}
+}

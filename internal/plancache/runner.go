@@ -1,0 +1,145 @@
+package plancache
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/pop"
+	"repro/internal/types"
+)
+
+// Runner executes statements through the plan cache: a guarded hit skips
+// optimization entirely, a miss optimizes once and caches the result, and a
+// runtime CHECK violation during a cached execution invalidates the plan and
+// replaces it with the re-optimized one. With Cache == nil the runner
+// degenerates to a plain pop.Runner — bit-for-bit, including feedback and
+// signature behavior.
+type Runner struct {
+	Cache *Cache
+	Cat   *catalog.Catalog
+	Opts  pop.Options
+}
+
+// NewRunner returns a caching runner over the catalog.
+func NewRunner(cache *Cache, cat *catalog.Catalog, opts pop.Options) *Runner {
+	return &Runner{Cache: cache, Cat: cat, Opts: opts}
+}
+
+// ExecInfo describes how the cache served one execution.
+type ExecInfo struct {
+	Key string
+	Hit bool
+	// OptWork is the optimization work this execution spent: candidate plans
+	// costed on a miss, guard subset-estimates on a hit — directly comparable
+	// since both count cost-model cardinality evaluations.
+	OptWork int
+	// OptWorkSaved is the work a hit avoided: the entry's last full
+	// optimization cost minus the guard-check cost. Zero on a miss.
+	OptWorkSaved int
+	// Invalidated reports that a CHECK violation fired during this execution
+	// and the plan it ran (cached or fresh) was removed/replaced.
+	Invalidated bool
+	// CachedPlans is the entry's plan count after this execution.
+	CachedPlans int
+}
+
+// Run executes the query with the given parameter binding.
+func (r *Runner) Run(q *logical.Query, params []types.Datum) (*pop.Result, ExecInfo, error) {
+	if r.Cache == nil {
+		res, err := pop.NewRunner(r.Cat, r.Opts).Run(q, params)
+		return res, ExecInfo{}, err
+	}
+
+	key := Key(q)
+	entry := r.Cache.Entry(key)
+	info := ExecInfo{Key: key}
+
+	// Estimate the binding's guarded cardinalities from histograms and the
+	// entry's accumulated feedback — the cheap lookup-side check.
+	boundQ := logical.BindParams(q, params)
+	ce, err := optimizer.NewCardEstimator(r.Cat, boundQ, entry.Feedback)
+	if err != nil {
+		return nil, info, err
+	}
+
+	opts := r.Opts
+	opts.SharedFeedback = entry.Feedback
+	opts.BindParamEstimates = true
+
+	var used *CachedPlan
+	if cp := entry.Lookup(ce); cp != nil {
+		// Guarded hit: execute the cached plan, skipping optimization.
+		info.Hit = true
+		info.OptWork = ce.Evals
+		if saved := entry.missWork() - ce.Evals; saved > 0 {
+			info.OptWorkSaved = saved
+		}
+		used = cp
+		opts.InitialPlan = cp.Plan
+	} else {
+		// Miss: optimize in full (with the binding's estimates and the
+		// entry's feedback) and cache the plan with its validity guards.
+		opt := optimizer.New(r.Cat)
+		opt.Feedback = entry.Feedback
+		if opts.Configure != nil {
+			opts.Configure(opt)
+		}
+		if len(params) > 0 {
+			opt.ParamBindings = params
+		}
+		plan, err := opt.Optimize(q)
+		if err != nil {
+			return nil, info, err
+		}
+		info.OptWork = opt.EnumeratedCandidates
+		entry.noteMissWork(opt.EnumeratedCandidates)
+		used = r.insert(entry, plan, q)
+		opts.InitialPlan = plan
+	}
+
+	res, err := pop.NewRunner(r.Cat, opts).Run(q, params)
+	if err != nil {
+		return nil, info, err
+	}
+
+	if res.Reopts > 0 {
+		// A CHECK fired: the plan's validity ranges were wrong for a binding
+		// its guards accepted. Drop it and cache the plan a re-optimization
+		// with the harvested feedback now produces. The final attempt's plan
+		// may scan statement-scoped temp MVs, so re-optimize MV-free here —
+		// this is exactly the plan the next identical binding would build.
+		info.Invalidated = true
+		if used != nil {
+			entry.Invalidate(used)
+		}
+		opt := optimizer.New(r.Cat)
+		opt.Feedback = entry.Feedback
+		if opts.Configure != nil {
+			opts.Configure(opt)
+		}
+		if len(params) > 0 {
+			opt.ParamBindings = params
+		}
+		if plan, err := opt.Optimize(q); err == nil {
+			r.insert(entry, plan, q)
+		}
+	}
+
+	info.CachedPlans = len(entry.Plans())
+	return res, info, nil
+}
+
+// insert caches a plan with its collected guards; uncacheable plans (temp-MV
+// scans) are skipped. Returns the CachedPlan, or nil if not cached.
+func (r *Runner) insert(entry *Entry, plan *optimizer.Plan, q *logical.Query) *CachedPlan {
+	if !cacheable(plan) {
+		return nil
+	}
+	cp := &CachedPlan{
+		Plan:    plan,
+		Guards:  optimizer.CollectGuards(plan),
+		Explain: optimizer.Explain(plan, q),
+	}
+	entry.Insert(cp, r.Cache.maxPlans())
+	return cp
+}

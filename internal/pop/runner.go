@@ -47,6 +47,20 @@ type Options struct {
 	// ("we ... plan to enhance our prototype to reuse further intermediate
 	// results in order to make re-optimization even more efficient").
 	ReuseHashBuilds bool
+	// InitialPlan, when non-nil, is executed on the first attempt instead of
+	// invoking the optimizer — the plan-cache hit path. Checkpoint placement
+	// and re-optimization on violation proceed exactly as for a freshly
+	// optimized plan; the plan itself is cloned before any rewrite, so the
+	// caller's tree is never mutated.
+	InitialPlan *optimizer.Plan
+	// BindParamEstimates makes every (re-)optimization during the run bind
+	// the statement's parameter values for estimation (see
+	// optimizer.Optimizer.ParamBindings), and scopes feedback and checkpoint
+	// signatures to the bound query: a parameter-dependent edge observed under
+	// one binding must not override the estimate for another binding, while
+	// binding-independent subsets keep sharing entries. Off by default to
+	// preserve the paper experiments' default-selectivity behavior.
+	BindParamEstimates bool
 }
 
 // DefaultOptions is POP as the paper's prototype defaults: enabled, LC+LCEM,
@@ -57,7 +71,10 @@ func DefaultOptions() Options {
 
 // AttemptInfo records one optimization→execution round.
 type AttemptInfo struct {
-	Plan       *optimizer.Plan
+	Plan *optimizer.Plan
+	// Optimized is the plan as the optimizer produced it, before checkpoint
+	// placement — the form the plan cache stores and guards.
+	Optimized  *optimizer.Plan
 	Explain    string
 	Checks     int
 	WorkBefore float64 // meter reading when the attempt started
@@ -135,9 +152,20 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 	// Paper Fig. 1: clean up this statement's temp MVs at statement end.
 	defer r.Cat.DropViewsPrefixed(ns)
 
+	// With BindParamEstimates, feedback and checkpoint signatures render the
+	// bound query so parameter-dependent observations stay scoped to this
+	// binding. sigQ == q otherwise — behavior is bit-identical.
+	sigQ := q
+	if r.Opts.BindParamEstimates && len(params) > 0 {
+		sigQ = logical.BindParams(q, params)
+	}
+
 	for attempt := 0; ; attempt++ {
 		opt := r.newOptimizer(fb)
 		opt.MVNamespace = ns
+		if r.Opts.BindParamEstimates && len(params) > 0 {
+			opt.ParamBindings = params
+		}
 		if attempt > 0 && r.Opts.UncertaintyPenalty > 1 {
 			opt.UncertaintyPenalty = r.Opts.UncertaintyPenalty
 		}
@@ -146,17 +174,25 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 			// force reuse of the intermediate results so progress is made.
 			opt.ForceMVReuse = true
 		}
-		plan, err := opt.Optimize(q)
-		if err != nil {
-			return nil, err
+		var plan *optimizer.Plan
+		if attempt == 0 && r.Opts.InitialPlan != nil {
+			plan = r.Opts.InitialPlan // plan-cache hit: skip optimization
+		} else {
+			var err error
+			plan, err = opt.Optimize(q)
+			if err != nil {
+				return nil, err
+			}
 		}
+		optimized := plan
 		checks := 0
 		final := !r.Opts.Enabled || attempt >= r.Opts.MaxReopts
 		if !final {
-			plan, checks = Place(plan, q, pol)
+			plan, checks = Place(plan, sigQ, pol)
 		}
 		info := AttemptInfo{
 			Plan:       plan,
+			Optimized:  optimized,
 			Explain:    optimizer.Explain(plan, q),
 			Checks:     checks,
 			WorkBefore: meter.Work(),
@@ -208,7 +244,7 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 
 		// CHECK violated: re-optimize.
 		info.Violation = cv
-		info.MVsCreated, info.FeedbackN = r.harvest(root, q, fb, cv, ns)
+		info.MVsCreated, info.FeedbackN = r.harvest(root, sigQ, fb, cv, ns)
 		res.Attempts = append(res.Attempts, info)
 		res.Reopts++
 		root.Close()

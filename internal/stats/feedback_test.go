@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFeedbackRecordAndGet(t *testing.T) {
+	f := NewFeedback()
+	if _, ok := f.Get("x"); ok {
+		t.Error("empty cache must not report entries")
+	}
+	f.Record("x", 42)
+	if got, ok := f.Get("x"); !ok || got != 42 {
+		t.Errorf("Get(x) = %v,%v", got, ok)
+	}
+	f.Record("x", 7) // latest observation wins
+	if got, _ := f.Get("x"); got != 7 {
+		t.Errorf("re-record should overwrite, got %v", got)
+	}
+	if f.Len() != 1 {
+		t.Errorf("Len = %d", f.Len())
+	}
+	f.Clear()
+	if f.Len() != 0 {
+		t.Error("Clear must empty the cache")
+	}
+}
+
+// TestFeedbackConcurrent validates (under -race) that one Feedback can be
+// shared by concurrent statements — the plan cache stores one per entry and
+// every execution of the statement reads and writes it.
+func TestFeedbackConcurrent(t *testing.T) {
+	f := NewFeedback()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sig := fmt.Sprintf("edge-%d", i%17)
+				f.Record(sig, float64(g*1000+i))
+				if card, ok := f.Get(sig); ok && card < 0 {
+					t.Errorf("negative cardinality %v", card)
+				}
+				_ = f.Len()
+				if i%50 == 0 {
+					_ = f.Signatures()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Len() != 17 {
+		t.Errorf("want 17 distinct signatures, got %d", f.Len())
+	}
+}
