@@ -10,6 +10,7 @@
 //	popbench -fig 15 -dmvscale 1 -queries 39
 //	popbench -parallel            # parallel-runtime study → BENCH_parallel.json
 //	popbench -plancache           # plan-cache study → BENCH_plancache.json
+//	popbench -observability       # tracing-overhead study → BENCH_observability.json
 package main
 
 import (
@@ -37,11 +38,13 @@ func main() {
 		parOut   = flag.String("parout", "BENCH_parallel.json", "output path for the parallel study JSON")
 		pcache   = flag.Bool("plancache", false, "run the plan-cache study")
 		pcOut    = flag.String("plancacheout", "BENCH_plancache.json", "output path for the plan-cache study JSON")
-		sweeps   = flag.Int("sweeps", 3, "binding sweeps for the plan-cache study")
+		sweeps   = flag.Int("sweeps", 3, "binding sweeps for the plan-cache and observability studies")
+		obs      = flag.Bool("observability", false, "run the tracing-overhead study")
+		obsOut   = flag.String("obsout", "BENCH_observability.json", "output path for the observability study JSON")
 	)
 	flag.Parse()
 
-	if !*all && *fig == 0 && *table == 0 && !*parallel && !*pcache {
+	if !*all && *fig == 0 && *table == 0 && !*parallel && !*pcache && !*obs {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -162,6 +165,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *pcOut)
 	}
 
+	runObservability := func() {
+		res, err := harness.ObservabilityStudy(loadTPCH(), *sweeps)
+		if err != nil {
+			fatal(err)
+		}
+		harness.WriteObservability(os.Stdout, res)
+		f, err := os.Create(*obsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteObservabilityJSON(f, res); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *obsOut)
+	}
+
 	if *all {
 		harness.WriteTable1(os.Stdout)
 		fmt.Println()
@@ -171,6 +194,8 @@ func main() {
 		runParallel()
 		fmt.Println()
 		runPlanCache()
+		fmt.Println()
+		runObservability()
 		return
 	}
 	if *table == 1 {
@@ -187,6 +212,9 @@ func main() {
 	}
 	if *pcache {
 		runPlanCache()
+	}
+	if *obs {
+		runObservability()
 	}
 }
 

@@ -12,7 +12,12 @@
 //
 //	\pop on|off     toggle progressive optimization
 //	\explain SQL    show the plan (with validity ranges) without running
-//	\analyze SQL    run the plan and show per-operator actual row counts
+//	\analyze SQL    EXPLAIN ANALYZE: run with POP and show, per attempt,
+//	                each operator's estimated vs actual rows, work and DOP
+//	\metrics        cumulative session counters (queries, reopts, checkpoint
+//	                outcomes, plan-cache verdicts, worker utilization)
+//	\trace FILE     start appending JSONL trace events to FILE
+//	\trace off      stop tracing and flush
 //	\tables         list tables
 //	\q              quit
 //	SQL;            execute
@@ -29,12 +34,38 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/dmv"
 	"repro/internal/executor"
+	"repro/internal/metrics"
 	"repro/internal/optimizer"
 	"repro/internal/plancache"
 	"repro/internal/pop"
 	"repro/internal/sqlparse"
 	"repro/internal/tpch"
+	"repro/internal/trace"
 )
+
+// session is the shell's mutable state: the catalog, the POP toggle, one
+// plan cache, a metrics registry fed by every traced execution, and the
+// optional JSONL trace sink.
+type session struct {
+	cat   *catalog.Catalog
+	popOn bool
+	cache *plancache.Cache
+	reg   *metrics.Registry
+
+	traceFile *os.File
+	jsonl     *trace.JSONL
+}
+
+// recorder composes the session's trace sinks: the metrics registry always
+// listens; the JSONL file joins when \trace armed one. The disarmed sink must
+// not be passed as a typed-nil *JSONL — inside the Recorder interface it
+// would look non-nil to Multi and crash on first use.
+func (s *session) recorder() trace.Recorder {
+	if s.jsonl != nil {
+		return trace.Multi(s.reg, s.jsonl)
+	}
+	return s.reg
+}
 
 func main() {
 	var (
@@ -65,10 +96,15 @@ func main() {
 	fmt.Printf("loaded %s: tables %v\n", *db, cat.TableNames())
 	fmt.Println(`POP is ON. Try: SELECT n_name, COUNT(*) AS n FROM nation, supplier WHERE n_nationkey = s_nationkey GROUP BY n_name;`)
 
-	popOn := true
-	// One plan cache for the whole session: repeated statements reuse their
-	// optimized plans when the validity-range guards allow it.
-	cache := plancache.New()
+	s := &session{
+		cat:   cat,
+		popOn: true,
+		// One plan cache for the whole session: repeated statements reuse
+		// their optimized plans when the validity-range guards allow it.
+		cache: plancache.New(),
+		reg:   metrics.New(),
+	}
+	defer s.stopTrace()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("popsql> ")
@@ -80,18 +116,60 @@ func main() {
 			return
 		case line == `\tables`:
 			fmt.Println(cat.TableNames())
+		case line == `\metrics`:
+			s.reg.Snapshot().WriteText(os.Stdout)
+		case strings.HasPrefix(line, `\trace`):
+			s.traceCmd(strings.TrimSpace(strings.TrimPrefix(line, `\trace`)))
 		case strings.HasPrefix(line, `\pop`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\pop`))
-			popOn = arg != "off"
-			fmt.Printf("POP is now %v\n", onOff(popOn))
+			s.popOn = arg != "off"
+			fmt.Printf("POP is now %v\n", onOff(s.popOn))
 		case strings.HasPrefix(line, `\explain`):
 			explain(cat, strings.TrimSpace(strings.TrimPrefix(line, `\explain`)))
 		case strings.HasPrefix(line, `\analyze`):
-			analyze(cat, strings.TrimSpace(strings.TrimPrefix(line, `\analyze`)))
+			s.analyze(strings.TrimSpace(strings.TrimPrefix(line, `\analyze`)))
 		default:
-			execute(cat, cache, line, popOn)
+			s.execute(line)
 		}
 		fmt.Print("popsql> ")
+	}
+}
+
+// traceCmd arms or disarms the JSONL trace sink.
+func (s *session) traceCmd(arg string) {
+	switch arg {
+	case "", "off":
+		if s.jsonl == nil {
+			fmt.Println("trace is off")
+			return
+		}
+		n := s.jsonl.Events()
+		s.stopTrace()
+		fmt.Printf("trace stopped (%d events)\n", n)
+	default:
+		s.stopTrace()
+		f, err := os.Create(arg)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		s.traceFile = f
+		s.jsonl = trace.NewJSONL(f)
+		fmt.Printf("tracing to %s\n", arg)
+	}
+}
+
+// stopTrace flushes and closes the JSONL sink, if armed.
+func (s *session) stopTrace() {
+	if s.jsonl != nil {
+		if err := s.jsonl.Flush(); err != nil {
+			fmt.Println("trace error:", err)
+		}
+		s.jsonl = nil
+	}
+	if s.traceFile != nil {
+		s.traceFile.Close()
+		s.traceFile = nil
 	}
 }
 
@@ -118,67 +196,50 @@ func explain(cat *catalog.Catalog, sql string) {
 	fmt.Printf("-- plan (est cost %.0f, %d checkpoints):\n%s", plan.Cost, n, optimizer.Explain(withChecks, q))
 }
 
-// analyze runs the statically chosen plan and prints each operator with its
-// estimated vs actual cardinality — the quickest way to see the estimation
-// errors POP reacts to.
-func analyze(cat *catalog.Catalog, sql string) {
-	q, err := sqlparse.Parse(cat, strings.TrimSuffix(sql, ";"))
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	opt := optimizer.New(cat)
-	plan, err := opt.Optimize(q)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	meter := &executor.Meter{}
-	ex, err := executor.NewExecutor(cat, q, nil, opt.Model.Params, meter)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	root, err := ex.Build(plan)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	rows, err := executor.Run(root)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	var show func(n executor.Node, depth int)
-	show = func(n executor.Node, depth int) {
-		p := n.Plan()
-		st := n.Stats()
-		errFactor := ""
-		if p.Card > 0 && st.RowsOut > 0 {
-			f := st.RowsOut / p.Card
-			if f >= 2 || f <= 0.5 {
-				errFactor = fmt.Sprintf("  ← %.1fx estimation error", f)
-			}
-		}
-		fmt.Printf("%s%s  est=%.1f actual=%.0f%s\n",
-			strings.Repeat("  ", depth), p.Op, p.Card, st.RowsOut, errFactor)
-		for _, c := range n.Children() {
-			show(c, depth+1)
-		}
-	}
-	show(root, 0)
-	fmt.Printf("-- %d rows, %.0f work units\n", len(rows), meter.Work())
-}
-
-func execute(cat *catalog.Catalog, cache *plancache.Cache, sql string, popOn bool) {
-	q, err := sqlparse.Parse(cat, strings.TrimSuffix(sql, ";"))
+// analyze is EXPLAIN ANALYZE: the statement runs under POP with per-operator
+// attribution on, and every attempt's plan is printed with estimated vs
+// actual rows, attributed work units, merged DOP, wall time and
+// spill/violation flags — the per-operator view of the estimation errors POP
+// reacts to.
+func (s *session) analyze(sql string) {
+	q, err := sqlparse.Parse(s.cat, strings.TrimSuffix(sql, ";"))
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	opts := pop.DefaultOptions()
-	opts.Enabled = popOn
-	res, info, err := plancache.NewRunner(cache, cat, opts).Run(q, nil)
+	opts.Enabled = s.popOn
+	opts.Analyze = true
+	opts.Trace = s.recorder()
+	res, err := pop.NewRunner(s.cat, opts).Run(q, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, a := range res.Attempts {
+		if len(res.Attempts) > 1 {
+			fmt.Printf("-- attempt %d:\n", i)
+		}
+		if a.Stats != nil {
+			fmt.Print(executor.FormatStats(a.Stats, q, executor.AnalyzeOptions{Wall: true}))
+		}
+		if a.Violation != nil {
+			fmt.Printf("-- %v\n", a.Violation)
+		}
+	}
+	fmt.Printf("-- %d rows, %.0f work units, %d re-optimization(s)\n", len(res.Rows), res.Work, res.Reopts)
+}
+
+func (s *session) execute(sql string) {
+	q, err := sqlparse.Parse(s.cat, strings.TrimSuffix(sql, ";"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	opts := pop.DefaultOptions()
+	opts.Enabled = s.popOn
+	opts.Trace = s.recorder()
+	res, info, err := plancache.NewRunner(s.cache, s.cat, opts).Run(q, nil)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -1,0 +1,108 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs is the doc-lint gate: every package under internal/ and
+// cmd/ must carry a godoc package comment, and the comment must open with
+// the canonical "Package <name>" / "Command <name>" form so go doc renders
+// it. CI runs this via `go test -run TestPackageDocs .`.
+func TestPackageDocs(t *testing.T) {
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		top := strings.Split(filepath.ToSlash(path), "/")[0]
+		if top != "internal" && top != "cmd" {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return err
+		}
+		if f.Doc == nil {
+			return nil
+		}
+		if seen[dir] {
+			t.Errorf("%s: package %s documented in more than one file", path, f.Name.Name)
+		}
+		seen[dir] = true
+		doc := f.Doc.Text()
+		wantPrefix := "Package " + f.Name.Name
+		if f.Name.Name == "main" {
+			wantPrefix = "Command "
+		}
+		if !strings.HasPrefix(doc, wantPrefix) {
+			t.Errorf("%s: package comment must start with %q, got %q",
+				path, wantPrefix, firstLine(doc))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every package directory must have exactly one documented file.
+	err = filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if name == "testdata" || strings.HasPrefix(name, ".") {
+			return filepath.SkipDir
+		}
+		top := strings.Split(filepath.ToSlash(path), "/")[0]
+		if top != "internal" && top != "cmd" {
+			return nil
+		}
+		if !hasGoSource(t, path) {
+			return nil
+		}
+		if !seen[path] {
+			t.Errorf("%s: package has no godoc package comment", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hasGoSource(t *testing.T, dir string) bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,198 @@
+package executor
+
+// EXPLAIN ANALYZE support: after an execution, CollectStats folds the
+// executable tree's per-node runtime counters into a stats tree that mirrors
+// the plan, merging the partition clones a parallel plan created for one
+// logical operator. FormatStats renders that tree in the style of
+// optimizer.Explain, with the estimate and the observed cardinality side by
+// side — the per-operator view of the estimation errors POP's checkpoints
+// guard against.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+)
+
+// ChargeAllocsPerRun measures the average heap allocations one work charge
+// performs, in the style of testing.AllocsPerRun. The observability study
+// uses it to certify the zero-overhead guarantee from the shipped binary:
+// with analyze off the charge path must allocate nothing.
+func ChargeAllocsPerRun(runs int, analyze bool) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	ex := &Executor{Meter: &Meter{}, Analyze: analyze}
+	ex.stmt = ex.Meter
+	b := &base{}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		b.charge(ex, 1)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// extraWorker is implemented by nodes whose worker goroutines charge work
+// that the consumer-thread charge path cannot attribute (the partitioned
+// hash join's build/probe loops).
+type extraWorker interface {
+	extraWork() float64
+}
+
+// StatsNode is one logical operator's merged runtime stats. Clones reports
+// how many executable instances (partition clones) were folded into it; 1
+// for a serial operator.
+type StatsNode struct {
+	Plan     *optimizer.Plan
+	Stats    NodeStats
+	Clones   int
+	Children []*StatsNode
+}
+
+// Walk visits the stats tree in pre-order.
+func (sn *StatsNode) Walk(fn func(*StatsNode)) {
+	if sn == nil {
+		return
+	}
+	fn(sn)
+	for _, c := range sn.Children {
+		c.Walk(fn)
+	}
+}
+
+// CollectStats folds an executable tree into a stats tree. Partition clones
+// share their *optimizer.Plan pointers (every clone is built from the same
+// plan fragment), so sibling instances of one logical operator are recognized
+// by plan identity and merged: rows and work sum, Done requires every clone
+// done, flags OR, FirstWork is the earliest touched reading and DoneWork the
+// latest. Call it only on a quiescent tree — after Run returned or the POP
+// controller harvested a violation.
+func CollectStats(root Node) *StatsNode {
+	return mergeClones([]*StatsNode{collectNode(root)})
+}
+
+func collectNode(n Node) *StatsNode {
+	sn := &StatsNode{Plan: n.Plan(), Stats: *n.Stats(), Clones: 1}
+	if ew, ok := n.(extraWorker); ok {
+		sn.Stats.Work += ew.extraWork()
+	}
+	var order []*optimizer.Plan
+	groups := make(map[*optimizer.Plan][]*StatsNode)
+	for _, c := range n.Children() {
+		cs := collectNode(c)
+		if _, ok := groups[cs.Plan]; !ok {
+			order = append(order, cs.Plan)
+		}
+		groups[cs.Plan] = append(groups[cs.Plan], cs)
+	}
+	for _, p := range order {
+		sn.Children = append(sn.Children, mergeClones(groups[p]))
+	}
+	return sn
+}
+
+// mergeClones folds sibling instances of one logical operator into a single
+// stats node. All instances share the plan node, and therefore the subtree
+// shape, so children merge positionally.
+func mergeClones(clones []*StatsNode) *StatsNode {
+	if len(clones) == 1 {
+		return clones[0]
+	}
+	out := &StatsNode{Plan: clones[0].Plan}
+	s := &out.Stats
+	s.Done = true
+	for _, c := range clones {
+		cs := c.Stats
+		out.Clones += c.Clones
+		s.RowsOut += cs.RowsOut
+		s.Work += cs.Work
+		s.Done = s.Done && cs.Done
+		s.Opened = s.Opened || cs.Opened
+		s.Spilled = s.Spilled || cs.Spilled
+		s.Violated = s.Violated || cs.Violated
+		if cs.Touched {
+			if !s.Touched || cs.FirstWork < s.FirstWork {
+				s.FirstWork = cs.FirstWork
+			}
+			s.Touched = true
+			if cs.DoneWork > s.DoneWork {
+				s.DoneWork = cs.DoneWork
+			}
+		}
+		if cs.WallFirstNS != 0 && (s.WallFirstNS == 0 || cs.WallFirstNS < s.WallFirstNS) {
+			s.WallFirstNS = cs.WallFirstNS
+		}
+		if cs.WallLastNS > s.WallLastNS {
+			s.WallLastNS = cs.WallLastNS
+		}
+	}
+	for i := range clones[0].Children {
+		group := make([]*StatsNode, len(clones))
+		for j, c := range clones {
+			group[j] = c.Children[i]
+		}
+		out.Children = append(out.Children, mergeClones(group))
+	}
+	return out
+}
+
+// AnalyzeOptions selects optional EXPLAIN ANALYZE columns.
+type AnalyzeOptions struct {
+	// Wall includes each node's wall-clock span. Off by default: wall time is
+	// nondeterministic, and the golden-file tests pin the deterministic
+	// columns only.
+	Wall bool
+}
+
+// FormatStats renders a stats tree in the style of optimizer.Explain, one
+// node per line:
+//
+//	HSJN  est=3200.0 actual=41210 work=94611.0 dop=4 [spill]
+//
+// est is the optimizer's cardinality estimate, actual the rows the operator
+// produced (summed over clones), work the simulated work units it charged
+// (analyze mode only), dop the number of partition clones merged. Flags:
+// [spill] grace-hash staging, [violated] the CHECK that stopped the attempt,
+// [partial] opened but cancelled before end-of-stream, [unopened] never ran.
+func FormatStats(sn *StatsNode, q *logical.Query, opts AnalyzeOptions) string {
+	var b strings.Builder
+	formatStatsNode(&b, sn, q, opts, 0)
+	return b.String()
+}
+
+func formatStatsNode(b *strings.Builder, sn *StatsNode, q *logical.Query, opts AnalyzeOptions, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(optimizer.NodeLabel(sn.Plan, q))
+	s := &sn.Stats
+	fmt.Fprintf(b, "  est=%.1f actual=%.0f work=%.1f", sn.Plan.Card, s.RowsOut, s.Work)
+	if sn.Clones > 1 {
+		fmt.Fprintf(b, " dop=%d", sn.Clones)
+	}
+	if opts.Wall {
+		fmt.Fprintf(b, " wall=%.3fms", float64(s.WallNS())/1e6)
+	}
+	switch {
+	case !s.Opened:
+		b.WriteString(" [unopened]")
+	case s.Violated:
+		b.WriteString(" [violated]")
+	case !s.Done:
+		b.WriteString(" [partial]")
+	}
+	if s.Spilled {
+		b.WriteString(" [spill]")
+	}
+	b.WriteByte('\n')
+	for _, c := range sn.Children {
+		formatStatsNode(b, c, q, opts, depth+1)
+	}
+}
+
+// ExplainAnalyze collects and renders an executed tree's runtime stats.
+func ExplainAnalyze(root Node, q *logical.Query, opts AnalyzeOptions) string {
+	return FormatStats(CollectStats(root), q, opts)
+}

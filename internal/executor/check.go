@@ -2,12 +2,34 @@ package executor
 
 import (
 	"hash/fnv"
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/optimizer"
 	"repro/internal/schema"
+	"repro/internal/trace"
 )
+
+// CheckEventInfo builds the trace payload for a checkpoint event: the
+// estimate the validity range was derived from, the observed cardinality,
+// and the range itself (an unbounded upper limit becomes a nil RangeHi —
+// JSON has no +Inf).
+func CheckEventInfo(meta *optimizer.CheckMeta, actual float64, exact bool) *trace.CheckInfo {
+	ci := &trace.CheckInfo{
+		ID:      meta.ID,
+		Flavor:  meta.Flavor.String(),
+		Where:   meta.Where,
+		Est:     meta.EstCard,
+		Actual:  actual,
+		Exact:   exact,
+		RangeLo: meta.Range.Lo,
+	}
+	if !math.IsInf(meta.Range.Hi, 1) {
+		ci.RangeHi = trace.Float(meta.Range.Hi)
+	}
+	return ci
+}
 
 // sharedCheck is the runtime state of one logical CHECK operator, shared by
 // every partition-clone instance of it in a parallel plan. The row count is
@@ -83,6 +105,7 @@ func (e *Executor) buildCheck(p *optimizer.Plan) (Node, error) {
 }
 
 func (n *checkNode) violation(actual float64, exact bool) error {
+	n.stats.Violated = true
 	return &CheckViolation{
 		Check:  n.plan.Check,
 		Node:   n.plan,
@@ -91,12 +114,29 @@ func (n *checkNode) violation(actual float64, exact bool) error {
 	}
 }
 
+// passed emits the exactly-once checkpoint_passed event. Both call sites sit
+// behind an exactly-once guard (the validated CompareAndSwap, or the
+// last-stream end-of-stream test), so a parallel plan traces one pass per
+// logical CHECK, same as its serial form.
+func (n *checkNode) passed(actual float64, exact bool) {
+	if tr := n.ex.Trace; tr != nil {
+		tr.Record(trace.Event{
+			Kind:  trace.CheckpointPassed,
+			Check: CheckEventInfo(n.plan.Check, actual, exact),
+		})
+	}
+}
+
+// touch records the statement-global work level at which this check first and
+// last validated rows. Partition clones run against a worker-local meter, so
+// the statement meter — not the worker's — is the clock FirstWork/DoneWork
+// must be read from (statementWork folds both).
 func (n *checkNode) touch() {
 	if !n.stats.Touched {
 		n.stats.Touched = true
-		n.stats.FirstWork = n.ex.Meter.Work()
+		n.stats.FirstWork = n.ex.statementWork()
 	}
-	n.stats.DoneWork = n.ex.Meter.Work()
+	n.stats.DoneWork = n.ex.statementWork()
 }
 
 func (n *checkNode) Open() error {
@@ -112,11 +152,12 @@ func (n *checkNode) Open() error {
 		if rows, done := m.Materialized(); done {
 			if n.sc.validated.CompareAndSwap(false, true) {
 				card := float64(len(rows))
-				n.ex.Meter.Add(n.ex.Cost.CheckRow)
+				n.charge(n.ex, n.ex.Cost.CheckRow)
 				n.touch()
 				if !n.plan.Check.Range.Contains(card) {
 					return n.violation(card, true)
 				}
+				n.passed(card, true)
 			}
 			n.skip = true
 		}
@@ -148,16 +189,18 @@ func (n *checkNode) Next() (schema.Row, bool, error) {
 			// That final evaluation also carries the single end-of-stream
 			// CheckRow charge, keeping the work total DOP-independent.
 			if n.sc.streams.Add(-1) == 0 {
-				n.ex.Meter.Add(n.ex.Cost.CheckRow)
+				n.charge(n.ex, n.ex.Cost.CheckRow)
 				n.touch()
-				if c := float64(n.sc.count.Load()); c < r.Lo {
+				c := float64(n.sc.count.Load())
+				if c < r.Lo {
 					return nil, false, n.violation(c, true)
 				}
+				n.passed(c, true)
 			}
 		}
 		return nil, false, nil
 	}
-	n.ex.Meter.Add(n.ex.Cost.CheckRow)
+	n.charge(n.ex, n.ex.Cost.CheckRow)
 	n.touch()
 	c := n.sc.count.Add(1)
 	if float64(c) > r.Hi {
@@ -284,7 +327,7 @@ func (n *insertRidNode) Next() (schema.Row, bool, error) {
 		n.stats.Done = err == nil && !ok
 		return nil, false, err
 	}
-	n.ex.Meter.Add(n.ex.Cost.TempWrite)
+	n.charge(n.ex, n.ex.Cost.TempWrite)
 	n.side.Add(row)
 	n.stats.RowsOut++
 	return row, true, nil
@@ -319,7 +362,7 @@ func (n *antiJoinNode) Next() (schema.Row, bool, error) {
 			n.stats.Done = err == nil && !ok
 			return nil, false, err
 		}
-		n.ex.Meter.Add(n.ex.Cost.HashProbeRow)
+		n.charge(n.ex, n.ex.Cost.HashProbeRow)
 		if n.side.Remove(row) {
 			continue // already returned during the initial run
 		}

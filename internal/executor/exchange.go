@@ -3,12 +3,26 @@ package executor
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/optimizer"
 	"repro/internal/schema"
+	"repro/internal/trace"
 )
+
+// workerEvent emits one exchange-worker lifecycle event when tracing is on.
+// Recorders must be concurrency-safe: this is called from worker goroutines.
+func (e *Executor) workerEvent(kind trace.Kind, phase string, worker, dop int, rows, work float64) {
+	if tr := e.Trace; tr != nil {
+		tr.Record(trace.Event{
+			Kind:   kind,
+			Worker: &trace.WorkerInfo{Phase: phase, Worker: worker, DOP: dop, Rows: rows, Work: work},
+		})
+	}
+}
 
 // This file implements morsel-style intra-query parallelism: exchange
 // operators (GATHER, and REPART folded into a partitioned hash join) that
@@ -158,7 +172,7 @@ func (e *Executor) buildGather(p *optimizer.Plan) (Node, error) {
 
 func (n *gatherNode) Open() error {
 	n.stats = NodeStats{Opened: true}
-	n.ex.Meter.Add(n.ex.Cost.ExchangeSetup)
+	n.charge(n.ex, n.ex.Cost.ExchangeSetup)
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 	n.ch = make(chan rowMsg, n.dop*exchangeBuffer)
 	n.opened = true
@@ -166,7 +180,12 @@ func (n *gatherNode) Open() error {
 		n.wg.Add(1)
 		go func(i int) {
 			defer n.wg.Done()
-			defer n.meters[i].drain(n.ex.Meter)
+			n.ex.workerEvent(trace.WorkerStart, "gather", i, n.dop, 0, 0)
+			defer func() {
+				work := n.meters[i].Work()
+				n.meters[i].drain(n.ex.Meter)
+				n.ex.workerEvent(trace.WorkerDrain, "gather", i, n.dop, n.clones[i].Stats().RowsOut, work)
+			}()
 			runPartition(n.ctx, n.clones[i], n.ch)
 		}(i)
 	}
@@ -226,7 +245,7 @@ func (n *gatherNode) Next() (schema.Row, bool, error) {
 		n.abort()
 		return nil, false, msg.err
 	}
-	n.ex.Meter.Add(n.ex.Cost.ExchangeRow)
+	n.charge(n.ex, n.ex.Cost.ExchangeRow)
 	n.stats.RowsOut++
 	return msg.row, true, nil
 }
@@ -280,6 +299,12 @@ type parallelHSJNNode struct {
 	buildDone  bool
 	spillExtra float64
 
+	// analyzeTicks accumulates the work this node's worker loops charge
+	// (exchange routing, hash build/probe) in analyze mode. Worker loops run
+	// concurrently, so attribution is batched per worker into an atomic and
+	// folded into the node's stats at collection time via extraWork.
+	analyzeTicks atomic.Int64
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	ch     chan rowMsg
@@ -319,6 +344,22 @@ func (e *Executor) buildParallelHSJN(gp, jp *optimizer.Plan) (Node, error) {
 	return n, nil
 }
 
+// addAnalyzeWork folds one worker's accumulated loop work into the node's
+// atomic tick counter (fixed-point, so cross-worker summation order cannot
+// perturb the total).
+func (n *parallelHSJNNode) addAnalyzeWork(w float64) {
+	if w > 0 {
+		n.analyzeTicks.Add(int64(math.Round(w * meterTick)))
+	}
+}
+
+// extraWork reports the analyze-mode work charged by this node's worker
+// loops, which runs outside the consumer-thread charge path. CollectStats
+// folds it into the node's Work column.
+func (n *parallelHSJNNode) extraWork() float64 {
+	return float64(n.analyzeTicks.Load()) / meterTick
+}
+
 // BuildMaterialized exposes the completed partitioned build for temp-MV
 // promotion, exactly like the serial hash join.
 func (n *parallelHSJNNode) BuildMaterialized() ([]schema.Row, int, bool) {
@@ -330,9 +371,10 @@ func (n *parallelHSJNNode) Open() error {
 	pr := &n.ex.Cost
 	// One setup charge per exchange in the plan fragment: the gather plus
 	// the two repartitions.
-	n.ex.Meter.Add(3 * pr.ExchangeSetup)
+	n.charge(n.ex, 3*pr.ExchangeSetup)
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 	n.opened = true
+	n.buildStub.stats.Opened = true
 
 	// Phase 1: partitioned build. Each worker drains its morsel stripe into
 	// per-worker, per-partition buffers — no locks on the hot path.
@@ -345,7 +387,12 @@ func (n *parallelHSJNNode) Open() error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			defer n.buildMeters[w].drain(n.ex.Meter)
+			n.ex.workerEvent(trace.WorkerStart, "build", w, n.dop, 0, 0)
+			defer func() {
+				work := n.buildMeters[w].Work()
+				n.buildMeters[w].drain(n.ex.Meter)
+				n.ex.workerEvent(trace.WorkerDrain, "build", w, n.dop, n.buildClones[w].Stats().RowsOut, work)
+			}()
 			errs[w] = n.runBuildWorker(w, bufs[w], &all[w])
 		}(w)
 	}
@@ -401,13 +448,15 @@ func (n *parallelHSJNNode) Open() error {
 		}
 	}
 	if stages > 1 {
-		n.ex.Meter.Add((stages - 1) * buildRows * pr.SpillRow)
+		n.charge(n.ex, (stages-1)*buildRows*pr.SpillRow)
 		n.spillExtra = (stages - 1) * pr.SpillRow
+		n.stats.Spilled = true
 	}
 
 	// Phase 3: concurrent probe.
 	n.ch = make(chan rowMsg, n.dop*exchangeBuffer)
 	n.probes = true
+	n.probeStub.stats.Opened = true
 	for w := 0; w < n.dop; w++ {
 		n.wg.Add(1)
 		go n.runProbeWorker(w)
@@ -435,6 +484,8 @@ func (n *parallelHSJNNode) runBuildWorker(w int, bufs [][]buildEntry, all *[]sch
 	clone := n.buildClones[w]
 	pr := &n.ex.Cost
 	meter := n.buildMeters[w]
+	var aw float64 // loop work attributed to the join node in analyze mode
+	defer func() { n.addAnalyzeWork(aw) }()
 	err := func() error {
 		if err := clone.Open(); err != nil {
 			return err
@@ -451,6 +502,9 @@ func (n *parallelHSJNNode) runBuildWorker(w int, bufs [][]buildEntry, all *[]sch
 				return nil
 			}
 			meter.Add(pr.ExchangeRow + pr.HashBuildRow)
+			if n.ex.Analyze {
+				aw += pr.ExchangeRow + pr.HashBuildRow
+			}
 			*all = append(*all, row)
 			if h, keyed := hashKeyAt(row, n.buildKeys); keyed {
 				p := int(h % uint64(n.dop))
@@ -471,10 +525,17 @@ func (n *parallelHSJNNode) runBuildWorker(w int, bufs [][]buildEntry, all *[]sch
 // tables (read-only after phase 2), emitting joined rows to the consumer.
 func (n *parallelHSJNNode) runProbeWorker(w int) {
 	defer n.wg.Done()
-	defer n.probeMeters[w].drain(n.ex.Meter)
+	n.ex.workerEvent(trace.WorkerStart, "probe", w, n.dop, 0, 0)
+	defer func() {
+		work := n.probeMeters[w].Work()
+		n.probeMeters[w].drain(n.ex.Meter)
+		n.ex.workerEvent(trace.WorkerDrain, "probe", w, n.dop, n.probeClones[w].Stats().RowsOut, work)
+	}()
 	clone := n.probeClones[w]
 	pr := &n.ex.Cost
 	meter := n.probeMeters[w]
+	var aw float64
+	defer func() { n.addAnalyzeWork(aw) }()
 	err := func() error {
 		if err := clone.Open(); err != nil {
 			return err
@@ -491,6 +552,9 @@ func (n *parallelHSJNNode) runProbeWorker(w int) {
 				return nil
 			}
 			meter.Add(pr.ExchangeRow + pr.HashProbeRow + n.spillExtra)
+			if n.ex.Analyze {
+				aw += pr.ExchangeRow + pr.HashProbeRow + n.spillExtra
+			}
 			h, keyed := hashKeyAt(row, n.probeKeys)
 			if !keyed {
 				continue
@@ -508,6 +572,9 @@ func (n *parallelHSJNNode) runProbeWorker(w int) {
 					continue
 				}
 				meter.Add(pr.OutputRow)
+				if n.ex.Analyze {
+					aw += pr.OutputRow
+				}
 				select {
 				case n.ch <- rowMsg{row: joined}:
 				case <-n.ctx.Done():
@@ -540,7 +607,7 @@ func (n *parallelHSJNNode) Next() (schema.Row, bool, error) {
 		n.abort()
 		return nil, false, msg.err
 	}
-	n.ex.Meter.Add(n.ex.Cost.ExchangeRow)
+	n.charge(n.ex, n.ex.Cost.ExchangeRow)
 	n.stats.RowsOut++
 	return msg.row, true, nil
 }

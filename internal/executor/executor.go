@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/expr"
 	"repro/internal/logical"
 	"repro/internal/optimizer"
 	"repro/internal/schema"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -68,13 +70,34 @@ type NodeStats struct {
 	Done    bool    // reached end of stream
 	Opened  bool
 
-	// FirstWork and DoneWork record the meter reading when the node first
-	// acted and when it finished (CHECK nodes maintain them; the harness uses
-	// them to plot checkpoint opportunities as fractions of execution,
-	// paper Figure 14).
+	// FirstWork and DoneWork record the statement-global meter reading when
+	// the node first acted and when it finished (CHECK nodes maintain them;
+	// the harness uses them to plot checkpoint opportunities as fractions of
+	// execution, paper Figure 14).
 	FirstWork float64
 	DoneWork  float64
 	Touched   bool // FirstWork recorded
+
+	// Analyze-mode counters (Executor.Analyze): work units this node charged
+	// and the wall-clock span between its first and last charge. Off by
+	// default so the hot path stays branch-cheap and allocation-free.
+	Work        float64
+	WallFirstNS int64
+	WallLastNS  int64
+
+	// Spilled marks a hash join whose build exceeded the memory budget and
+	// charged grace-hash staging; Violated marks a CHECK that raised the
+	// violation that stopped this attempt.
+	Spilled  bool
+	Violated bool
+}
+
+// WallNS returns the node's active wall-clock span (analyze mode only).
+func (s *NodeStats) WallNS() int64 {
+	if s.WallFirstNS == 0 {
+		return 0
+	}
+	return s.WallLastNS - s.WallFirstNS
 }
 
 // Node is an executable plan operator.
@@ -134,9 +157,21 @@ type Executor struct {
 	// counts.
 	DOP int
 
+	// Analyze turns on per-node runtime attribution (NodeStats.Work and the
+	// wall-clock span) for EXPLAIN ANALYZE. Off, the only cost is one
+	// predictable branch per charge — no allocations, no time syscalls, and
+	// a bit-identical work total.
+	Analyze bool
+
+	// Trace receives structured runtime events (checkpoint outcomes,
+	// exchange worker lifecycles) when non-nil. Emission sites are guarded
+	// by a nil check, so the disabled path constructs no events.
+	Trace trace.Recorder
+
 	tabs   []*catalog.Table
 	ectx   *expr.Context
 	checks *checkRegistry
+	stmt   *Meter // statement-global meter (== Meter outside worker copies)
 }
 
 // NewExecutor resolves the query's tables and prepares an executor.
@@ -161,17 +196,34 @@ func NewExecutor(cat *catalog.Catalog, q *logical.Query, params []types.Datum, c
 		tabs:   tabs,
 		ectx:   &expr.Context{Params: params},
 		checks: newCheckRegistry(),
+		stmt:   meter,
 	}, nil
 }
 
 // workerCopy returns a shallow copy of the executor whose charges go to the
 // given worker-local meter. The copy shares the catalog, the expression
-// context (read-only at execution time) and the check registry, so CHECK
-// counting stays global across partition clones.
+// context (read-only at execution time), the check registry and the
+// statement-global meter, so CHECK counting and work-progress readings stay
+// global across partition clones.
 func (e *Executor) workerCopy(m *Meter) *Executor {
 	we := *e
 	we.Meter = m
 	return &we
+}
+
+// statementWork reads the statement's global work progress as seen by this
+// (possibly worker-local) executor: the drained statement total plus this
+// worker's still-local ticks. Sibling workers' undrained ticks are not
+// visible, so the reading is a lower bound on true global work — but it is
+// monotonic per observer and consistent between serial and parallel plans,
+// unlike the worker-local meter alone (which made cloned CHECKs report
+// near-zero FirstWork/DoneWork).
+func (e *Executor) statementWork() float64 {
+	w := e.stmt.Work()
+	if e.Meter != e.stmt {
+		w += e.Meter.Work()
+	}
+	return w
 }
 
 // dopFor resolves the execution DOP for an exchange plan node, honoring the
@@ -335,6 +387,22 @@ type base struct {
 func (b *base) Plan() *optimizer.Plan { return b.plan }
 func (b *base) Stats() *NodeStats     { return &b.stats }
 func (b *base) Children() []Node      { return b.children }
+
+// charge adds work to the executor's meter and, in analyze mode, attributes
+// it to this node's stats together with the wall-clock span of the node's
+// activity. Each node instance is driven by exactly one goroutine (partition
+// clones are distinct instances), so the attribution needs no atomics.
+func (b *base) charge(e *Executor, w float64) {
+	e.Meter.Add(w)
+	if e.Analyze {
+		b.stats.Work += w
+		now := time.Now().UnixNano()
+		if b.stats.WallFirstNS == 0 {
+			b.stats.WallFirstNS = now
+		}
+		b.stats.WallLastNS = now
+	}
+}
 
 func (b *base) closeChildren() error {
 	var first error

@@ -135,14 +135,14 @@ func (n *nljnNode) nextNaive() (schema.Row, bool, error) {
 			n.haveOut = false
 			continue
 		}
-		n.ex.Meter.Add(pr.PredEval)
+		n.charge(n.ex, pr.PredEval)
 		joined := n.curOuter.Concat(irow)
 		keep, err := evalFilter(n.filter, n.ex.ectx, joined)
 		if err != nil {
 			return nil, false, err
 		}
 		if keep {
-			n.ex.Meter.Add(pr.OutputRow)
+			n.charge(n.ex, pr.OutputRow)
 			n.stats.RowsOut++
 			return joined, true, nil
 		}
@@ -160,7 +160,7 @@ func (n *nljnNode) nextIndex() (schema.Row, bool, error) {
 				return nil, false, err
 			}
 			if keep {
-				n.ex.Meter.Add(pr.OutputRow)
+				n.charge(n.ex, pr.OutputRow)
 				n.stats.RowsOut++
 				return joined, true, nil
 			}
@@ -175,13 +175,13 @@ func (n *nljnNode) nextIndex() (schema.Row, bool, error) {
 			return nil, false, nil
 		}
 		key := orow[n.outerKey]
-		n.ex.Meter.Add(float64(n.probe.ix.Height()) * pr.IndexLevel)
+		n.probe.charge(n.ex, float64(n.probe.ix.Height())*pr.IndexLevel)
 		for _, rid := range n.probe.ix.Lookup(key) {
 			irow, err := n.probe.ix.Table().Get(rid)
 			if err != nil {
 				return nil, false, err
 			}
-			n.ex.Meter.Add(pr.FetchRow + n.probe.npred*pr.PredEval)
+			n.probe.charge(n.ex, pr.FetchRow+n.probe.npred*pr.PredEval)
 			keep, err := evalFilter(n.probe.filter, n.ex.ectx, irow)
 			if err != nil {
 				return nil, false, err
@@ -324,7 +324,7 @@ func (n *hsjnNode) Open() error {
 			break
 		}
 		buildRows++
-		n.ex.Meter.Add(pr.HashBuildRow)
+		n.charge(n.ex, pr.HashBuildRow)
 		n.buildRows = append(n.buildRows, row)
 		if h, ok := hashKeyAt(row, n.buildKeys); ok {
 			n.table[h] = append(n.table[h], row)
@@ -340,8 +340,9 @@ func (n *hsjnNode) Open() error {
 		}
 	}
 	if stages > 1 {
-		n.ex.Meter.Add((stages - 1) * buildRows * pr.SpillRow)
+		n.charge(n.ex, (stages-1)*buildRows*pr.SpillRow)
 		n.spillExtra = (stages - 1) * pr.SpillRow
+		n.stats.Spilled = true
 	}
 	return n.probe.Open()
 }
@@ -358,7 +359,7 @@ func (n *hsjnNode) Next() (schema.Row, bool, error) {
 				return nil, false, err
 			}
 			if keep {
-				n.ex.Meter.Add(pr.OutputRow)
+				n.charge(n.ex, pr.OutputRow)
 				n.stats.RowsOut++
 				return joined, true, nil
 			}
@@ -371,7 +372,7 @@ func (n *hsjnNode) Next() (schema.Row, bool, error) {
 			n.stats.Done = true
 			return nil, false, nil
 		}
-		n.ex.Meter.Add(pr.HashProbeRow + n.spillExtra)
+		n.charge(n.ex, pr.HashProbeRow+n.spillExtra)
 		h, hasKey := hashKeyAt(row, n.probeKeys)
 		if !hasKey {
 			continue
@@ -454,7 +455,7 @@ func (n *mgjnNode) advanceLeft() error {
 	}
 	n.lrow, n.lok = row, ok
 	if ok {
-		n.ex.Meter.Add(n.ex.Cost.MergeRow)
+		n.charge(n.ex, n.ex.Cost.MergeRow)
 	}
 	return nil
 }
@@ -466,7 +467,7 @@ func (n *mgjnNode) advanceRight() error {
 	}
 	n.rahead, n.rvalid = row, ok
 	if ok {
-		n.ex.Meter.Add(n.ex.Cost.MergeRow)
+		n.charge(n.ex, n.ex.Cost.MergeRow)
 	}
 	return nil
 }
@@ -515,7 +516,7 @@ func (n *mgjnNode) Next() (schema.Row, bool, error) {
 				return nil, false, ferr
 			}
 			if keep {
-				n.ex.Meter.Add(pr.OutputRow)
+				n.charge(n.ex, pr.OutputRow)
 				n.stats.RowsOut++
 				return joined, true, nil
 			}

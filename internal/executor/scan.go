@@ -73,7 +73,7 @@ func (n *tableScanNode) Next() (schema.Row, bool, error) {
 			n.stats.Done = true
 			return nil, false, nil
 		}
-		n.ex.Meter.Add(pr.ScanRow + n.npreds*pr.PredEval)
+		n.charge(n.ex, pr.ScanRow+n.npreds*pr.PredEval)
 		keep, err := evalFilter(n.filter, n.ex.ectx, row)
 		if err != nil {
 			return nil, false, err
@@ -160,7 +160,7 @@ func (n *indexScanNode) Open() error {
 	// scan only stripe 0 charges it so the work total matches the serial
 	// plan exactly.
 	if n.part == 0 {
-		n.ex.Meter.Add(float64(n.ix.Height()) * pr.IndexLevel)
+		n.charge(n.ex, float64(n.ix.Height())*pr.IndexLevel)
 	}
 	n.ix.AscendRange(lo, hi, func(_ types.Datum, rid schema.RID) bool {
 		n.rids = append(n.rids, rid)
@@ -184,7 +184,7 @@ func (n *indexScanNode) Next() (schema.Row, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		n.ex.Meter.Add(pr.FetchRow + n.npreds*pr.PredEval)
+		n.charge(n.ex, pr.FetchRow+n.npreds*pr.PredEval)
 		keep, err := evalFilter(n.filter, n.ex.ectx, row)
 		if err != nil {
 			return nil, false, err
@@ -245,7 +245,7 @@ func (n *mvScanNode) Next() (schema.Row, bool, error) {
 	}
 	row := rows[n.pos]
 	n.pos += n.step()
-	n.ex.Meter.Add(n.ex.Cost.TempRead)
+	n.charge(n.ex, n.ex.Cost.TempRead)
 	n.stats.RowsOut++
 	return row, true, nil
 }
@@ -291,7 +291,7 @@ func (n *hashLookupNode) Open() error {
 	if err != nil {
 		return err
 	}
-	n.ex.Meter.Add(n.ex.Cost.HashProbeRow)
+	n.charge(n.ex, n.ex.Cost.HashProbeRow)
 	rids, _, err := n.ix.Lookup([]types.Datum{key})
 	if err != nil {
 		return err
@@ -315,7 +315,7 @@ func (n *hashLookupNode) Next() (schema.Row, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		n.ex.Meter.Add(pr.FetchRow + n.npreds*pr.PredEval)
+		n.charge(n.ex, pr.FetchRow+n.npreds*pr.PredEval)
 		keep, err := evalFilter(n.filter, n.ex.ectx, row)
 		if err != nil {
 			return nil, false, err

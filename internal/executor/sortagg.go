@@ -91,11 +91,11 @@ func (n *sortNode) Open() error {
 		if !ok {
 			break
 		}
-		n.ex.Meter.Add(pr.TempWrite)
+		n.charge(n.ex, pr.TempWrite)
 		n.rows = append(n.rows, row)
 	}
 	cn := float64(len(n.rows))
-	n.ex.Meter.Add(cn * math.Log2(cn+2) * pr.SortCmpRow)
+	n.charge(n.ex, cn*math.Log2(cn+2)*pr.SortCmpRow)
 	sort.SliceStable(n.rows, func(i, j int) bool {
 		return compareRows(n.rows[i], n.rows[j], n.keys, n.desc) < 0
 	})
@@ -163,7 +163,7 @@ func (n *tempNode) Open() error {
 		if !ok {
 			break
 		}
-		n.ex.Meter.Add(pr.TempWrite)
+		n.charge(n.ex, pr.TempWrite)
 		n.rows = append(n.rows, row)
 	}
 	n.done = true
@@ -183,7 +183,7 @@ func (n *tempNode) Next() (schema.Row, bool, error) {
 	}
 	row := n.rows[n.pos]
 	n.pos++
-	n.ex.Meter.Add(n.ex.Cost.TempRead)
+	n.charge(n.ex, n.ex.Cost.TempRead)
 	n.stats.RowsOut++
 	return row, true, nil
 }
@@ -323,7 +323,7 @@ func (n *hashAggNode) Open() error {
 		if !ok {
 			break
 		}
-		n.ex.Meter.Add(pr.HashBuildRow)
+		n.charge(n.ex, pr.HashBuildRow)
 		h := fnv.New64a()
 		for _, k := range n.keys {
 			row[k].HashInto(h)
@@ -379,7 +379,7 @@ func (n *hashAggNode) Open() error {
 		order = append(order, g)
 	}
 	for _, g := range order {
-		n.ex.Meter.Add(pr.OutputRow)
+		n.charge(n.ex, pr.OutputRow)
 		out := make(schema.Row, len(n.items))
 		for i, st := range g.states {
 			out[i] = st.result()
@@ -450,7 +450,7 @@ func (n *projectNode) Next() (schema.Row, bool, error) {
 		n.stats.Done = err == nil && !ok
 		return nil, false, err
 	}
-	n.ex.Meter.Add(n.ex.Cost.OutputRow)
+	n.charge(n.ex, n.ex.Cost.OutputRow)
 	out := make(schema.Row, len(n.exprs))
 	for i, ex := range n.exprs {
 		v, err := ex.Eval(n.ex.ectx, row)

@@ -1,0 +1,189 @@
+package harness
+
+// The observability study quantifies what the trace/metrics/analyze stack
+// costs (BENCH_observability.json): the same parameterized TPC-H Q10 sweep
+// runs untraced, traced (JSONL + metrics registry), and traced-with-analyze,
+// and the study compares simulated work (must be bit-identical — the
+// zero-overhead guarantee on the measured substrate), wall time and heap
+// allocations across the three.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+	"repro/internal/logical"
+	"repro/internal/metrics"
+	"repro/internal/pop"
+	"repro/internal/tpch"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// ObservabilitySide aggregates one instrumentation mode of the study.
+type ObservabilitySide struct {
+	Label         string  `json:"label"`
+	Executions    int     `json:"executions"`
+	Rows          int     `json:"rows"`
+	ExecWork      float64 `json:"exec_work"` // simulated work units, all runs
+	Reopts        int     `json:"reopts"`
+	WallNS        int64   `json:"wall_ns"`
+	AllocsPerExec float64 `json:"allocs_per_exec"`
+	// Events and TraceBytes describe the emitted JSONL stream (traced modes).
+	Events     int64 `json:"events,omitempty"`
+	TraceBytes int64 `json:"trace_bytes,omitempty"`
+}
+
+// ObservabilityResult is the study output (BENCH_observability.json).
+type ObservabilityResult struct {
+	Query    string `json:"query"`
+	Sweeps   int    `json:"sweeps"`
+	Bindings int    `json:"bindings_per_sweep"`
+
+	Baseline ObservabilitySide `json:"baseline"`
+	Traced   ObservabilitySide `json:"traced"`
+	Analyzed ObservabilitySide `json:"analyzed"`
+
+	// WorkIdentical certifies that tracing and analyze attribution did not
+	// perturb the simulated substrate: all three modes charged bit-identical
+	// work totals.
+	WorkIdentical bool `json:"work_identical"`
+	// TraceWallOverhead is (traced − baseline) / baseline wall time: the real
+	// cost of recording the event stream, as a fraction of execution.
+	TraceWallOverhead float64 `json:"trace_wall_overhead"`
+	// AnalyzeWallOverhead is the same fraction for traced + per-operator
+	// attribution (one clock reading per charge).
+	AnalyzeWallOverhead float64 `json:"analyze_wall_overhead"`
+	// HotPathAllocsOff is heap allocations per work charge with observability
+	// off — the zero-allocation guarantee, measured, not asserted.
+	HotPathAllocsOff float64 `json:"hot_path_allocs_per_charge_off"`
+	// CheckpointEvents counts checkpoint_passed + checkpoint_violated events
+	// the traced sweep emitted.
+	CheckpointEvents int64 `json:"checkpoint_events"`
+	// Metrics is the registry snapshot after the traced sweep.
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// countWriter counts bytes written; the study's JSONL sink discards content.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// observabilitySide runs the full binding sweep in one instrumentation mode.
+func observabilitySide(cat *catalog.Catalog, q *logical.Query, sweeps int, label string, analyze bool, rec trace.Recorder) (ObservabilitySide, error) {
+	side := ObservabilitySide{Label: label}
+	bindings := planCacheBindings()
+	// Default-selectivity estimation (no parameter binding): extreme bindings
+	// are misestimated, so the sweep exercises the violation/re-optimization
+	// events, not just the passed ones.
+	opts := pop.DefaultOptions()
+	opts.Analyze = analyze
+	opts.Trace = rec
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for s := 0; s < sweeps; s++ {
+		for _, qty := range bindings {
+			r, err := pop.NewRunner(cat, opts).Run(q, []types.Datum{types.NewFloat(qty)})
+			if err != nil {
+				return side, fmt.Errorf("observability study (%s, qty=%v): %w", label, qty, err)
+			}
+			side.Executions++
+			side.Rows += len(r.Rows)
+			side.ExecWork += r.Work
+			side.Reopts += r.Reopts
+		}
+	}
+	side.WallNS = time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	side.AllocsPerExec = float64(after.Mallocs-before.Mallocs) / float64(side.Executions)
+	return side, nil
+}
+
+// ObservabilityStudy sweeps parameterized Q10 in three modes — untraced,
+// traced, traced+analyze — and reports the overhead of each layer.
+func ObservabilityStudy(cat *catalog.Catalog, sweeps int) (*ObservabilityResult, error) {
+	q, err := tpch.Q10Param(cat)
+	if err != nil {
+		return nil, err
+	}
+	res := &ObservabilityResult{
+		Query:    "Q10(l_quantity <= ?0)",
+		Sweeps:   sweeps,
+		Bindings: len(planCacheBindings()),
+	}
+
+	if res.Baseline, err = observabilitySide(cat, q, sweeps, "baseline", false, nil); err != nil {
+		return nil, err
+	}
+
+	cw := &countWriter{}
+	jsonl := trace.NewJSONL(cw)
+	reg := metrics.New()
+	if res.Traced, err = observabilitySide(cat, q, sweeps, "traced", false, trace.Multi(jsonl, reg)); err != nil {
+		return nil, err
+	}
+	if err := jsonl.Flush(); err != nil {
+		return nil, err
+	}
+	res.Traced.Events = jsonl.Events()
+	res.Traced.TraceBytes = cw.n
+	res.Metrics = reg.Snapshot()
+	res.CheckpointEvents = res.Metrics.ChecksPassed + res.Metrics.CheckViolations
+
+	acw := &countWriter{}
+	ajsonl := trace.NewJSONL(acw)
+	if res.Analyzed, err = observabilitySide(cat, q, sweeps, "analyzed", true, trace.Multi(ajsonl, metrics.New())); err != nil {
+		return nil, err
+	}
+	if err := ajsonl.Flush(); err != nil {
+		return nil, err
+	}
+	res.Analyzed.Events = ajsonl.Events()
+	res.Analyzed.TraceBytes = acw.n
+
+	res.WorkIdentical = res.Baseline.ExecWork == res.Traced.ExecWork &&
+		res.Traced.ExecWork == res.Analyzed.ExecWork
+	if res.Baseline.WallNS > 0 {
+		res.TraceWallOverhead = float64(res.Traced.WallNS-res.Baseline.WallNS) / float64(res.Baseline.WallNS)
+		res.AnalyzeWallOverhead = float64(res.Analyzed.WallNS-res.Baseline.WallNS) / float64(res.Baseline.WallNS)
+	}
+	res.HotPathAllocsOff = executor.ChargeAllocsPerRun(1<<16, false)
+	return res, nil
+}
+
+// WriteObservabilityJSON renders the study as indented JSON.
+func WriteObservabilityJSON(w io.Writer, r *ObservabilityResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteObservability renders the study as a human-readable table.
+func WriteObservability(w io.Writer, r *ObservabilityResult) {
+	fmt.Fprintf(w, "Observability study: %s, %d sweeps × %d bindings\n", r.Query, r.Sweeps, r.Bindings)
+	fmt.Fprintf(w, "%-10s %6s %14s %8s %10s %14s %10s %12s\n",
+		"mode", "execs", "exec_work", "reopts", "wall_ms", "allocs/exec", "events", "trace_bytes")
+	row := func(s ObservabilitySide) {
+		fmt.Fprintf(w, "%-10s %6d %14.0f %8d %10.1f %14.0f %10d %12d\n",
+			s.Label, s.Executions, s.ExecWork, s.Reopts, float64(s.WallNS)/1e6,
+			s.AllocsPerExec, s.Events, s.TraceBytes)
+	}
+	row(r.Baseline)
+	row(r.Traced)
+	row(r.Analyzed)
+	fmt.Fprintf(w, "work identical across modes: %v\n", r.WorkIdentical)
+	fmt.Fprintf(w, "wall overhead: trace %+.1f%%, trace+analyze %+.1f%%\n",
+		100*r.TraceWallOverhead, 100*r.AnalyzeWallOverhead)
+	fmt.Fprintf(w, "hot-path allocations per charge (observability off): %g\n", r.HotPathAllocsOff)
+	fmt.Fprintf(w, "checkpoint events in traced sweep: %d (%d passed, %d violated)\n",
+		r.CheckpointEvents, r.Metrics.ChecksPassed, r.Metrics.CheckViolations)
+}

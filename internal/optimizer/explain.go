@@ -16,13 +16,17 @@ func Explain(p *Plan, q *logical.Query) string {
 	return b.String()
 }
 
-func explainNode(b *strings.Builder, p *Plan, q *logical.Query, depth int) {
-	indent := strings.Repeat("  ", depth)
-	fmt.Fprintf(b, "%s%s", indent, p.Op)
+// NodeLabel renders one plan node's operator label with its annotations —
+// "IXSCAN(o)[sarg]", "CHECK[LC #1 range=[800.0,inf]]", "XCHG[gather dop=4]" —
+// without the cardinality/cost suffix. EXPLAIN and EXPLAIN ANALYZE share it,
+// so a node is named identically in both renderings.
+func NodeLabel(p *Plan, q *logical.Query) string {
+	var b strings.Builder
+	b.WriteString(p.Op.String())
 	switch p.Op {
 	case OpTableScan, OpIndexScan, OpHashLookup:
 		if q != nil && p.Table < len(q.Tables) {
-			fmt.Fprintf(b, "(%s)", q.Tables[p.Table].Alias)
+			fmt.Fprintf(&b, "(%s)", q.Tables[p.Table].Alias)
 		}
 		if p.Op == OpIndexScan {
 			if p.IndexLo == nil && p.IndexHi == nil {
@@ -35,7 +39,7 @@ func explainNode(b *strings.Builder, p *Plan, q *logical.Query, depth int) {
 		}
 	case OpMVScan:
 		if p.MV != nil {
-			fmt.Fprintf(b, "(%s)", p.MV.Signature)
+			fmt.Fprintf(&b, "(%s)", p.MV.Signature)
 		}
 	case OpNLJN:
 		if p.IndexJoin {
@@ -43,11 +47,18 @@ func explainNode(b *strings.Builder, p *Plan, q *logical.Query, depth int) {
 		}
 	case OpCheck:
 		if p.Check != nil {
-			fmt.Fprintf(b, "[%s #%d range=%s]", p.Check.Flavor, p.Check.ID, formatRange(p.Check.Range))
+			fmt.Fprintf(&b, "[%s #%d range=%s]", p.Check.Flavor, p.Check.ID, formatRange(p.Check.Range))
 		}
 	case OpExchange:
-		fmt.Fprintf(b, "[%s dop=%d]", p.ExKind, p.DOP)
+		fmt.Fprintf(&b, "[%s dop=%d]", p.ExKind, p.DOP)
 	}
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, p *Plan, q *logical.Query, depth int) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	b.WriteString(NodeLabel(p, q))
 	fmt.Fprintf(b, "  card=%.1f cost=%.0f", p.Card, p.Cost)
 	if p.Filter != nil {
 		fmt.Fprintf(b, " filter=%s", p.Filter)

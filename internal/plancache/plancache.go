@@ -70,16 +70,41 @@ type Entry struct {
 // estimates, or nil. The caller supplies the estimator (built over the bound
 // query with this entry's feedback).
 func (e *Entry) Lookup(ce *optimizer.CardEstimator) *CachedPlan {
+	cp, _ := e.LookupDetail(ce)
+	return cp
+}
+
+// Rejection records one guard that turned a cached plan away: the guarded
+// subset's validity range and the binding's estimate that fell outside it.
+type Rejection struct {
+	Guard optimizer.Guard
+	Est   float64
+}
+
+// LookupDetail is Lookup plus the reuse diagnostics: for every cached plan
+// the binding could not use, the first guard that rejected it and the
+// out-of-range estimate. On a hit the rejections cover the plans tried
+// before the accepted one; on a miss, every plan in the entry.
+func (e *Entry) LookupDetail(ce *optimizer.CardEstimator) (*CachedPlan, []Rejection) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	var rejs []Rejection
 	for _, cp := range e.plans {
-		if cp.InRange(ce) {
+		rejected := false
+		for _, g := range cp.Guards {
+			if est := ce.SubsetCard(g.Tables); !g.Range.Contains(est) {
+				rejs = append(rejs, Rejection{Guard: g, Est: est})
+				rejected = true
+				break
+			}
+		}
+		if !rejected {
 			e.hits++
-			return cp
+			return cp, rejs
 		}
 	}
 	e.misses++
-	return nil
+	return nil, rejs
 }
 
 // Insert adds a plan, deduplicating by rendered form (a concurrent miss may

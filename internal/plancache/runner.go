@@ -1,12 +1,36 @@
 package plancache
 
 import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
 	"repro/internal/catalog"
 	"repro/internal/logical"
 	"repro/internal/optimizer"
 	"repro/internal/pop"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
+
+// hashKey fingerprints a cache key for the trace: keys embed whole rendered
+// predicates, so events carry the stable FNV-64a hash instead.
+func hashKey(key string) string {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// cacheEvent emits one plan-cache verdict when tracing is on. Cache events
+// use the key hash as their statement identity — the cache's unit of sharing
+// is the normalized statement, not one binding's signature.
+func (r *Runner) cacheEvent(kind trace.Kind, kh string, ci *trace.CacheInfo) {
+	if tr := r.Opts.Trace; tr != nil {
+		ci.Key = kh
+		tr.Record(trace.Event{Kind: kind, Query: kh, Cache: ci})
+	}
+}
 
 // Runner executes statements through the plan cache: a guarded hit skips
 // optimization entirely, a miss optimizes once and caches the result, and a
@@ -66,8 +90,23 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*pop.Result, ExecI
 	opts.SharedFeedback = entry.Feedback
 	opts.BindParamEstimates = true
 
+	kh := hashKey(key)
 	var used *CachedPlan
-	if cp := entry.Lookup(ce); cp != nil {
+	cp, rejs := entry.LookupDetail(ce)
+	if r.Opts.Trace != nil {
+		for _, rej := range rejs {
+			ci := &trace.CacheInfo{
+				GuardSig: optimizer.Signature(boundQ, rej.Guard.Tables),
+				GuardEst: rej.Est,
+				RangeLo:  rej.Guard.Range.Lo,
+			}
+			if !math.IsInf(rej.Guard.Range.Hi, 1) {
+				ci.RangeHi = trace.Float(rej.Guard.Range.Hi)
+			}
+			r.cacheEvent(trace.CacheGuardReject, kh, ci)
+		}
+	}
+	if cp != nil {
 		// Guarded hit: execute the cached plan, skipping optimization.
 		info.Hit = true
 		info.OptWork = ce.Evals
@@ -76,6 +115,13 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*pop.Result, ExecI
 		}
 		used = cp
 		opts.InitialPlan = cp.Plan
+		if r.Opts.Trace != nil {
+			r.cacheEvent(trace.CacheHit, kh, &trace.CacheInfo{
+				OptWork:      info.OptWork,
+				OptWorkSaved: info.OptWorkSaved,
+				Plans:        len(entry.Plans()),
+			})
+		}
 	} else {
 		// Miss: optimize in full (with the binding's estimates and the
 		// entry's feedback) and cache the plan with its validity guards.
@@ -87,14 +133,34 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*pop.Result, ExecI
 		if len(params) > 0 {
 			opt.ParamBindings = params
 		}
+		// The miss-path optimization happens here, not in pop.Runner (which
+		// sees it as a cache-supplied InitialPlan), so the optimize events are
+		// emitted here too — the metrics registry's `optimizations` counter
+		// must cover every optimizer invocation, cached path included.
+		if tr := r.Opts.Trace; tr != nil {
+			tr.Record(trace.Event{Kind: trace.OptimizeStart, Query: kh})
+		}
 		plan, err := opt.Optimize(q)
 		if err != nil {
 			return nil, info, err
+		}
+		if tr := r.Opts.Trace; tr != nil {
+			tr.Record(trace.Event{Kind: trace.OptimizeDone, Query: kh, Opt: &trace.OptInfo{
+				PlanSig:    pop.PlanSig(plan, q),
+				Cost:       plan.Cost,
+				Candidates: opt.EnumeratedCandidates,
+			}})
 		}
 		info.OptWork = opt.EnumeratedCandidates
 		entry.noteMissWork(opt.EnumeratedCandidates)
 		used = r.insert(entry, plan, q)
 		opts.InitialPlan = plan
+		if r.Opts.Trace != nil {
+			r.cacheEvent(trace.CacheMiss, kh, &trace.CacheInfo{
+				OptWork: info.OptWork,
+				Plans:   len(entry.Plans()),
+			})
+		}
 	}
 
 	res, err := pop.NewRunner(r.Cat, opts).Run(q, params)
@@ -111,6 +177,11 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*pop.Result, ExecI
 		info.Invalidated = true
 		if used != nil {
 			entry.Invalidate(used)
+			if r.Opts.Trace != nil {
+				r.cacheEvent(trace.CacheInvalidate, kh, &trace.CacheInfo{
+					Plans: len(entry.Plans()),
+				})
+			}
 		}
 		opt := optimizer.New(r.Cat)
 		opt.Feedback = entry.Feedback
@@ -120,7 +191,17 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*pop.Result, ExecI
 		if len(params) > 0 {
 			opt.ParamBindings = params
 		}
+		if tr := r.Opts.Trace; tr != nil {
+			tr.Record(trace.Event{Kind: trace.OptimizeStart, Query: kh})
+		}
 		if plan, err := opt.Optimize(q); err == nil {
+			if tr := r.Opts.Trace; tr != nil {
+				tr.Record(trace.Event{Kind: trace.OptimizeDone, Query: kh, Opt: &trace.OptInfo{
+					PlanSig:    pop.PlanSig(plan, q),
+					Cost:       plan.Cost,
+					Candidates: opt.EnumeratedCandidates,
+				}})
+			}
 			r.insert(entry, plan, q)
 		}
 	}

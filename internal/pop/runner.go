@@ -11,6 +11,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/schema"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -53,6 +54,16 @@ type Options struct {
 	// optimized plan; the plan itself is cloned before any rewrite, so the
 	// caller's tree is never mutated.
 	InitialPlan *optimizer.Plan
+	// Analyze turns on per-operator runtime attribution: each attempt's
+	// AttemptInfo.Stats carries the merged stats tree EXPLAIN ANALYZE
+	// renders. Off by default — the attribution costs one branch per work
+	// charge plus a clock reading when on.
+	Analyze bool
+	// Trace, when non-nil, receives the statement's structured event stream
+	// (see package trace): optimization rounds, checkpoint outcomes,
+	// re-optimizations, exchange worker lifecycles, and (with Analyze)
+	// per-operator stats. Nil keeps every emission site on its no-op path.
+	Trace trace.Recorder
 	// BindParamEstimates makes every (re-)optimization during the run bind
 	// the statement's parameter values for estimation (see
 	// optimizer.Optimizer.ParamBindings), and scopes feedback and checkpoint
@@ -84,6 +95,11 @@ type AttemptInfo struct {
 	// RowsReturned counts rows this attempt streamed to the application
 	// (pipelined mode).
 	RowsReturned int
+	// Stats is the attempt's merged per-operator runtime stats tree
+	// (EXPLAIN ANALYZE), collected when Options.Analyze is on — including for
+	// attempts a violation cut short, where it shows how far each operator
+	// got before the plan was abandoned.
+	Stats *executor.StatsNode
 }
 
 // Result is the outcome of a POP run.
@@ -160,7 +176,19 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 		sigQ = logical.BindParams(q, params)
 	}
 
+	// All statement-scoped events flow through one stamping recorder so
+	// executor-side emissions carry the statement signature and the attempt
+	// in flight. tr stays a typed nil pointer when tracing is off — every
+	// emission below is guarded, and ex.Trace is only assigned when non-nil.
+	var tr *stampRecorder
+	if r.Opts.Trace != nil {
+		tr = &stampRecorder{r: r.Opts.Trace, query: querySig(sigQ)}
+	}
+
 	for attempt := 0; ; attempt++ {
+		if tr != nil {
+			tr.attempt.Store(int32(attempt))
+		}
 		opt := r.newOptimizer(fb)
 		opt.MVNamespace = ns
 		if r.Opts.BindParamEstimates && len(params) > 0 {
@@ -175,9 +203,13 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 			opt.ForceMVReuse = true
 		}
 		var plan *optimizer.Plan
-		if attempt == 0 && r.Opts.InitialPlan != nil {
+		cached := attempt == 0 && r.Opts.InitialPlan != nil
+		if cached {
 			plan = r.Opts.InitialPlan // plan-cache hit: skip optimization
 		} else {
+			if tr != nil {
+				tr.Record(trace.Event{Kind: trace.OptimizeStart})
+			}
 			var err error
 			plan, err = opt.Optimize(q)
 			if err != nil {
@@ -190,6 +222,14 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 		if !final {
 			plan, checks = Place(plan, sigQ, pol)
 		}
+		if tr != nil && !cached {
+			tr.Record(trace.Event{Kind: trace.OptimizeDone, Opt: &trace.OptInfo{
+				PlanSig:    PlanSig(plan, q),
+				Cost:       plan.Cost,
+				Candidates: opt.EnumeratedCandidates,
+				Checks:     checks,
+			}})
+		}
 		info := AttemptInfo{
 			Plan:       plan,
 			Optimized:  optimized,
@@ -201,6 +241,10 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 		ex, err := executor.NewExecutor(r.Cat, q, params, opt.Model.Params, meter)
 		if err != nil {
 			return nil, err
+		}
+		ex.Analyze = r.Opts.Analyze
+		if tr != nil {
+			ex.Trace = tr
 		}
 		root, err := ex.Build(plan)
 		if err != nil {
@@ -237,17 +281,49 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 				res.Rows = rows
 			}
 			res.CheckStats = collectCheckStats(root)
+			if r.Opts.Analyze {
+				info.Stats = executor.CollectStats(root)
+			}
 			res.Attempts = append(res.Attempts, info)
 			res.Work = meter.Work()
+			if tr != nil {
+				if info.Stats != nil {
+					emitOperatorStats(tr, info.Stats)
+				}
+				tr.Record(trace.Event{Kind: trace.QueryDone, Done: &trace.DoneInfo{
+					Rows: len(res.Rows), Work: res.Work, Reopts: res.Reopts,
+				}})
+			}
 			return res, nil
 		}
 
 		// CHECK violated: re-optimize.
 		info.Violation = cv
+		if r.Opts.Analyze {
+			info.Stats = executor.CollectStats(root)
+		}
+		if tr != nil {
+			tr.Record(trace.Event{Kind: trace.CheckpointViolated,
+				Check: executor.CheckEventInfo(cv.Check, cv.Actual, cv.Exact)})
+		}
 		info.MVsCreated, info.FeedbackN = r.harvest(root, sigQ, fb, cv, ns)
 		res.Attempts = append(res.Attempts, info)
 		res.Reopts++
-		root.Close()
+		if tr != nil {
+			if info.Stats != nil {
+				emitOperatorStats(tr, info.Stats)
+			}
+			tr.Record(trace.Event{Kind: trace.Reoptimize, Reopt: &trace.ReoptInfo{
+				MVsCreated: info.MVsCreated, FeedbackN: info.FeedbackN,
+			}})
+		}
+		// executor.Run already closed the tree; this second Close is the
+		// idempotent safety net for wrapper nodes, and its error — previously
+		// dropped — now aborts the run instead of silently re-optimizing over
+		// a tree that failed to release its resources.
+		if cerr := root.Close(); cerr != nil {
+			return nil, fmt.Errorf("pop: closing violated attempt %d: %w", attempt+1, cerr)
+		}
 		// Charge the optimizer re-invocation (context switch, Fig. 12 gap).
 		meter.Add(opt.Model.Params.ReoptInvoke)
 		// A forced dummy failure applies to the initial attempt only.
