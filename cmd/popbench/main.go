@@ -136,7 +136,7 @@ func main() {
 			fatal(err)
 		}
 		if err := harness.WriteParallelJSON(f, points); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -156,7 +156,7 @@ func main() {
 			fatal(err)
 		}
 		if err := harness.WritePlanCacheJSON(f, res); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -176,7 +176,7 @@ func main() {
 			fatal(err)
 		}
 		if err := harness.WriteObservabilityJSON(f, res); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,86 @@
+// Command poplint runs the POP static-analysis suite over the module:
+// pure-stdlib analyzers enforcing the determinism, error-accounting, and
+// concurrency invariants the reproduction's claims rest on.
+//
+// Usage:
+//
+//	go run ./cmd/poplint ./...          # whole module (the CI gate)
+//	go run ./cmd/poplint ./internal/... # a subtree
+//	go run ./cmd/poplint -v ./...       # also list suppressed findings
+//	go run ./cmd/poplint -rules         # describe the analyzers and exit
+//
+// Each finding prints as "file:line: [rule] message". Exit status is 0 when
+// clean, 1 when any finding survives, 2 on load or type-check errors.
+// Sites opt out with `//poplint:allow <rule> <reason>` on (or directly
+// above) the offending line; see internal/lint for the grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also print findings suppressed by //poplint:allow annotations")
+	rules := flag.Bool("rules", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	if *rules {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	ld, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poplint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := ld.LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poplint:", err)
+		os.Exit(2)
+	}
+	if errs := ld.Errors(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "poplint: load:", e)
+		}
+		os.Exit(2)
+	}
+
+	findings, suppressed := lint.Run(prog, lint.Analyzers(), lint.Options{})
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		fmt.Println(relativize(cwd, f).String())
+	}
+	if *verbose {
+		for _, f := range suppressed {
+			fmt.Printf("%s (suppressed)\n", relativize(cwd, f).String())
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "poplint: %d finding(s) in %d package(s)\n", len(findings), len(prog.Packages))
+		os.Exit(1)
+	}
+}
+
+// relativize rewrites the finding's filename relative to cwd when possible,
+// for stable, readable CI output.
+func relativize(cwd string, f lint.Finding) lint.Finding {
+	if cwd == "" {
+		return f
+	}
+	if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+		f.Pos.Filename = rel
+	}
+	return f
+}

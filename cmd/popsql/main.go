@@ -168,7 +168,9 @@ func (s *session) stopTrace() {
 		s.jsonl = nil
 	}
 	if s.traceFile != nil {
-		s.traceFile.Close()
+		if err := s.traceFile.Close(); err != nil {
+			fmt.Println("trace error:", err)
+		}
 		s.traceFile = nil
 	}
 }
@@ -287,7 +289,9 @@ func loadCSVDir(cat *catalog.Catalog, dir string) error {
 		}
 		name := strings.TrimSuffix(filepath.Base(path), ".csv")
 		_, err = cat.LoadCSV(name, f)
-		f.Close()
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}

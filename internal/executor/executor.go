@@ -12,6 +12,7 @@
 package executor
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -331,7 +332,9 @@ const runPrealloc = 1 << 16
 // dropped.
 func Run(n Node) (rows []schema.Row, err error) {
 	if err := n.Open(); err != nil {
-		n.Close()
+		if cerr := n.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	defer func() {
@@ -396,7 +399,7 @@ func (b *base) charge(e *Executor, w float64) {
 	e.Meter.Add(w)
 	if e.Analyze {
 		b.stats.Work += w
-		now := time.Now().UnixNano()
+		now := time.Now().UnixNano() //poplint:allow determinism analyze-mode wall spans are diagnostic; simulated work stays bit-identical
 		if b.stats.WallFirstNS == 0 {
 			b.stats.WallFirstNS = now
 		}

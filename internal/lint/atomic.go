@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicAnalyzer enforces atomic-access consistency across the whole
+// program: any variable or struct field whose address is ever passed to a
+// sync/atomic function must never be read or written plainly anywhere else.
+// Mixing the two races — the plain access tears against the atomic one —
+// and in the POP parallel runtime it silently corrupts work accounting.
+// The analyzer runs in two passes over every loaded package: first it
+// collects the set of atomically-accessed objects (field identity is shared
+// across packages because the loader memoizes type-checked imports), then
+// it flags every plain access to a member of that set.
+var AtomicAnalyzer = &Analyzer{
+	Name: "atomicplain",
+	Doc:  "forbid plain access to variables/fields that are accessed via sync/atomic",
+	Run:  runAtomic,
+}
+
+func runAtomic(prog *Program, report ReportFunc) {
+	atomicObjs := map[types.Object]token.Position{} // object -> first atomic site
+	sanctioned := map[ast.Node]bool{}               // operand nodes inside atomic calls
+
+	// Pass A: find atomic.Xxx(&obj, …) calls, record the objects and the
+	// exact operand nodes so pass B does not flag the atomic sites.
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pn := pkgNameOf(pkg.Info, sel.X)
+				if pn == nil || pn.Imported().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					obj := addressedObj(pkg, un.X)
+					if obj == nil {
+						continue
+					}
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = prog.Fset.Position(un.X.Pos())
+					}
+					markSanctioned(sanctioned, un.X)
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass B: every other use of those objects is a plain access.
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					s, ok := pkg.Info.Selections[e]
+					if !ok || sanctioned[e] {
+						return true
+					}
+					if first, hit := atomicObjs[s.Obj()]; hit {
+						report(e.Sel.Pos(), "%s is accessed via sync/atomic (first at %s:%d) but accessed plainly here; use sync/atomic or annotate //poplint:allow atomicplain <reason>",
+							s.Obj().Name(), first.Filename, first.Line)
+					}
+				case *ast.Ident:
+					obj := pkg.Info.Uses[e]
+					if obj == nil || sanctioned[e] {
+						return true
+					}
+					if v, ok := obj.(*types.Var); !ok || v.IsField() {
+						return true // fields are reported at their selector
+					}
+					if first, hit := atomicObjs[obj]; hit {
+						report(e.Pos(), "%s is accessed via sync/atomic (first at %s:%d) but accessed plainly here; use sync/atomic or annotate //poplint:allow atomicplain <reason>",
+							obj.Name(), first.Filename, first.Line)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// addressedObj resolves the operand of &x in an atomic call to the variable
+// or field object it denotes.
+func addressedObj(pkg *Package, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[x]
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[x]; ok {
+			return s.Obj()
+		}
+		// Qualified identifier (&otherpkg.Var) — not a selection.
+		return pkg.Info.Uses[x.Sel]
+	case *ast.IndexExpr:
+		return addressedObj(pkg, x.X)
+	}
+	return nil
+}
+
+// markSanctioned records the operand node and, for selector chains, the
+// nested nodes whose own objects pass B would otherwise flag.
+func markSanctioned(sanctioned map[ast.Node]bool, e ast.Expr) {
+	for {
+		sanctioned[e] = true
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			sanctioned[x.Sel] = true
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// droppedErrorNames are the method/function names whose error results the
+// analyzer refuses to see silently discarded. They are the shapes that
+// report deferred failure — a Close that loses a flush error, a Run whose
+// outcome vanishes — exactly the class that turned up live in the POP
+// runner and executor.
+var droppedErrorNames = map[string]bool{
+	"Close":    true,
+	"Run":      true,
+	"Flush":    true,
+	"Sync":     true,
+	"Stop":     true,
+	"Shutdown": true,
+	"Wait":     true,
+}
+
+// DroppedErrorAnalyzer flags statements that call a Close/Run/Flush-shaped
+// function returning an error and drop the result on the floor: bare
+// expression statements, defers, and go statements. An explicit `_ = …`
+// assignment is accepted — the discard is then visible in review — as is a
+// //poplint:allow droppederror annotation.
+var DroppedErrorAnalyzer = &Analyzer{
+	Name: "droppederror",
+	Doc:  "flag discarded error results from Close/Run/Flush-shaped calls",
+	Run:  runDroppedError,
+}
+
+func runDroppedError(prog *Program, report ReportFunc) {
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				var how string
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = s.X.(*ast.CallExpr)
+					how = "discarded"
+				case *ast.DeferStmt:
+					call = s.Call
+					how = "discarded by defer"
+				case *ast.GoStmt:
+					call = s.Call
+					how = "discarded by go"
+				default:
+					return true
+				}
+				if call == nil {
+					return true
+				}
+				name, ok := calleeName(call)
+				if !ok || !droppedErrorNames[name] {
+					return true
+				}
+				sig, ok := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+				if !ok {
+					return true // conversion or builtin
+				}
+				if !returnsError(sig) {
+					return true
+				}
+				report(call.Pos(), "error result of %s %s; handle it, assign to _ explicitly, or annotate //poplint:allow droppederror <reason>", name, how)
+				return true
+			})
+		}
+	}
+}
+
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name, true
+	case *ast.SelectorExpr:
+		return f.Sel.Name, true
+	}
+	return "", false
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok {
+			if named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}

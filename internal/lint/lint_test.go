@@ -1,0 +1,171 @@
+package lint_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// sharedLoader memoizes one loader across all tests so the stdlib is
+// type-checked from source once, not per fixture.
+var sharedLoader = sync.OnceValues(func() (*lint.Loader, error) {
+	return lint.NewLoader(".")
+})
+
+func loader(t *testing.T) *lint.Loader {
+	t.Helper()
+	ld, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ld
+}
+
+// loadFixture loads testdata/src/<dir> under the given fake import path,
+// failing the test on any parse or type error in the fixture itself.
+func loadFixture(t *testing.T, dir, asPath string) *lint.Program {
+	t.Helper()
+	ld := loader(t)
+	before := len(ld.Errors())
+	prog, err := ld.LoadDirAs(filepath.Join("testdata", "src", dir), asPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := ld.Errors(); len(errs) > before {
+		t.Fatalf("fixture %s has load errors: %v", dir, errs[before:])
+	}
+	return prog
+}
+
+// expectedFindings parses `// want rule[ rule…]` markers from fixture
+// sources into "line rule" keys (repeated rules repeat the key).
+func expectedFindings(prog *lint.Program) []string {
+	var want []string
+	for _, pkg := range prog.Packages {
+		for name, src := range pkg.Sources {
+			for i, line := range strings.Split(string(src), "\n") {
+				_, marker, ok := strings.Cut(line, "// want ")
+				if !ok {
+					continue
+				}
+				for _, rule := range strings.Fields(marker) {
+					want = append(want, fmt.Sprintf("%s:%d %s", filepath.Base(name), i+1, rule))
+				}
+			}
+		}
+	}
+	sort.Strings(want)
+	return want
+}
+
+func gotFindings(findings []lint.Finding) []string {
+	got := make([]string, 0, len(findings))
+	for _, f := range findings {
+		got = append(got, fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule))
+	}
+	sort.Strings(got)
+	return got
+}
+
+func diffStrings(t *testing.T, what string, want, got []string) {
+	t.Helper()
+	if strings.Join(want, "\n") != strings.Join(got, "\n") {
+		t.Errorf("%s findings mismatch:\nwant:\n  %s\ngot:\n  %s",
+			what, strings.Join(want, "\n  "), strings.Join(got, "\n  "))
+	}
+}
+
+// TestGoldenFixtures runs the full suite over each bad/good fixture pair:
+// bad packages must produce exactly their marked findings, good packages
+// none at all.
+func TestGoldenFixtures(t *testing.T) {
+	cases := []struct {
+		dir    string
+		asPath string // fake import path placing the fixture in analyzer scope
+	}{
+		{"determinism/bad", "repro/internal/optimizer/fixdet"},
+		{"determinism/good", "repro/internal/optimizer/fixdetgood"},
+		{"maporder/bad", "repro/internal/optimizer/fixmap"},
+		{"maporder/good", "repro/internal/optimizer/fixmapgood"},
+		{"droppederror/bad", "repro/internal/fixdrop"},
+		{"droppederror/good", "repro/internal/fixdropgood"},
+		{"atomicplain/bad", "repro/internal/fixatomic"},
+		{"atomicplain/good", "repro/internal/fixatomicgood"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			prog := loadFixture(t, tc.dir, tc.asPath)
+			findings, _ := lint.Run(prog, lint.Analyzers(), lint.Options{})
+			diffStrings(t, tc.dir, expectedFindings(prog), gotFindings(findings))
+			if strings.HasSuffix(tc.dir, "/good") && len(findings) > 0 {
+				t.Errorf("good fixture produced findings: %v", findings)
+			}
+		})
+	}
+}
+
+// TestAllowPrecision pins the suppression contract: an annotation covers
+// exactly one line — the line it trails, or the line below the standalone
+// form — and the twin violation one line away still fires.
+func TestAllowPrecision(t *testing.T) {
+	prog := loadFixture(t, "allow/precision", "repro/internal/optimizer/fixallow")
+	findings, suppressed := lint.Run(prog, lint.Analyzers(), lint.Options{})
+
+	diffStrings(t, "surviving", expectedFindings(prog), gotFindings(findings))
+
+	// The suppressed twins are the lines defining aa (trailing form) and cc
+	// (standalone form, one line below the annotation).
+	wantSuppressed := []string{
+		fmt.Sprintf("precision.go:%d determinism", lineContaining(t, prog, "aa := ")),
+		fmt.Sprintf("precision.go:%d determinism", lineContaining(t, prog, "cc := ")),
+	}
+	sort.Strings(wantSuppressed)
+	diffStrings(t, "suppressed", wantSuppressed, gotFindings(suppressed))
+
+	// With suppression disabled every site fires: the two marked survivors
+	// plus the two annotated twins.
+	all, none := lint.Run(prog, lint.Analyzers(), lint.Options{DisableAllow: true})
+	if len(none) != 0 {
+		t.Errorf("DisableAllow still suppressed: %v", none)
+	}
+	wantAll := append(expectedFindings(prog), wantSuppressed...)
+	sort.Strings(wantAll)
+	diffStrings(t, "DisableAllow", wantAll, gotFindings(all))
+}
+
+func lineContaining(t *testing.T, prog *lint.Program, sub string) int {
+	t.Helper()
+	for _, pkg := range prog.Packages {
+		for _, src := range pkg.Sources {
+			for i, line := range strings.Split(string(src), "\n") {
+				if strings.Contains(line, sub) {
+					return i + 1
+				}
+			}
+		}
+	}
+	t.Fatalf("no fixture line contains %q", sub)
+	return 0
+}
+
+// TestMalformedAllow pins that broken annotations are findings, not silent
+// no-ops: no rule, unknown rule, and missing reason each report under the
+// "allow" rule.
+func TestMalformedAllow(t *testing.T) {
+	prog := loadFixture(t, "allow/malformed", "repro/internal/fixallowbad")
+	findings, _ := lint.Run(prog, lint.Analyzers(), lint.Options{})
+	var allowFindings []lint.Finding
+	for _, f := range findings {
+		if f.Rule == lint.AllowRule {
+			allowFindings = append(allowFindings, f)
+		}
+	}
+	if len(allowFindings) != 3 {
+		t.Fatalf("want 3 malformed-annotation findings, got %d: %v", len(allowFindings), findings)
+	}
+}

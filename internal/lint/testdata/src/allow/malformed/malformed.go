@@ -1,0 +1,11 @@
+// Package fixallowbad is a poplint fixture: malformed annotations must be
+// findings themselves, never silent no-ops.
+package fixallowbad
+
+// Malformed carries one annotation with no rule, one with an unknown rule,
+// and one missing its mandatory reason.
+func Malformed() {
+	//poplint:allow
+	//poplint:allow nosuchrule because of a typo
+	//poplint:allow determinism
+}

@@ -1,0 +1,22 @@
+// Package fixallow is a poplint fixture for suppression precision: each
+// //poplint:allow must cover exactly one source line — the line it trails,
+// or the line directly below the standalone form — and nothing else.
+package fixallow
+
+import "time"
+
+// Trailing has two identical violations; only the first is annotated.
+func Trailing() (int64, int64) {
+	aa := time.Now().UnixNano() //poplint:allow determinism trailing form suppresses exactly this line
+	bb := time.Now().UnixNano() // want determinism
+	return aa, bb
+}
+
+// Standalone uses the own-line form: the annotation covers the next line
+// only, not the one after it.
+func Standalone() (int64, int64) {
+	//poplint:allow determinism standalone form suppresses exactly the next line
+	cc := time.Now().UnixNano()
+	dd := time.Now().UnixNano() // want determinism
+	return cc, dd
+}

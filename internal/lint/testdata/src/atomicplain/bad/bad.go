@@ -1,0 +1,40 @@
+// Package fixatomic is a poplint fixture: fields and package variables
+// written through sync/atomic but read plainly elsewhere — the tearing race
+// that corrupts work accounting in a parallel runtime.
+package fixatomic
+
+import "sync/atomic"
+
+type meter struct {
+	ticks int64
+	name  string
+}
+
+// Add is the atomic writer that puts ticks under the rule.
+func (m *meter) Add(n int64) {
+	atomic.AddInt64(&m.ticks, n)
+}
+
+// Read races Add: a plain load of an atomically-written field.
+func (m *meter) Read() int64 {
+	return m.ticks // want atomicplain
+}
+
+// Reset races Add with a plain store. The name field stays plain-only and
+// is never flagged.
+func (m *meter) Reset() {
+	m.ticks = 0 // want atomicplain
+	m.name = ""
+}
+
+var hits int64
+
+// Bump puts the package variable under the rule.
+func Bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// Peek is the plain read of it.
+func Peek() int64 {
+	return hits // want atomicplain
+}

@@ -1,0 +1,31 @@
+// Package fixatomicgood is a poplint fixture: consistent atomic usage —
+// typed atomics, all-atomic raw fields, and untouched plain fields. Zero
+// findings expected.
+package fixatomicgood
+
+import "sync/atomic"
+
+type meter struct {
+	ticks atomic.Int64 // typed atomics are safe by construction
+	local int64        // never touched atomically; plain access is fine
+}
+
+// Add mixes a typed atomic with an unrelated plain field.
+func (m *meter) Add(n int64) {
+	m.ticks.Add(n)
+	m.local += n
+}
+
+// Read loads through the typed atomic.
+func (m *meter) Read() int64 {
+	return m.ticks.Load()
+}
+
+type raw struct{ n int64 }
+
+// Consistent touches the raw field only through sync/atomic.
+func Consistent(r *raw) int64 {
+	atomic.AddInt64(&r.n, 1)
+	atomic.StoreInt64(&r.n, 7)
+	return atomic.LoadInt64(&r.n)
+}

@@ -1,0 +1,34 @@
+// Package fixdet is a poplint fixture: every nondeterminism class the
+// determinism analyzer must catch inside a bit-identical package.
+package fixdet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Timestamp leaks wall-clock time into cost accounting.
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want determinism
+}
+
+// Jitter injects process-local randomness.
+func Jitter() float64 {
+	return rand.Float64() // want determinism
+}
+
+// Pid leaks process identity.
+func Pid() int {
+	return os.Getpid() // want determinism
+}
+
+// Since is wall-clock arithmetic in disguise.
+func Since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want determinism
+}
+
+// Env output varies per host.
+func Env() string {
+	return os.Getenv("POP_SEED") // want determinism
+}

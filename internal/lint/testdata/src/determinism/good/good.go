@@ -1,0 +1,15 @@
+// Package fixdetgood is a poplint fixture: deterministic uses of the time
+// package plus a correctly annotated exemption — zero findings expected.
+package fixdetgood
+
+import "time"
+
+// Elapsed only manipulates values handed in; no clock is read.
+func Elapsed(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}
+
+// Annotated documents the exemption grammar the executor wall-clock uses.
+func Annotated() int64 {
+	return time.Now().UnixNano() //poplint:allow determinism fixture documents the trailing exemption form
+}

@@ -1,0 +1,20 @@
+// Package fixdrop is a poplint fixture: Close/Run/Flush-shaped calls whose
+// error results vanish — bare, deferred, and goroutine-spawned.
+package fixdrop
+
+import "os"
+
+type sink struct{}
+
+func (sink) Close() error { return nil }
+func (sink) Flush() error { return nil }
+func (sink) Run() error   { return nil }
+
+// Leak drops every failure a sink can report.
+func Leak(f *os.File) {
+	s := sink{}
+	s.Close()       // want droppederror
+	defer s.Flush() // want droppederror
+	go s.Run()      // want droppederror
+	f.Close()       // want droppederror
+}

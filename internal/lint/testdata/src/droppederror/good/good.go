@@ -1,0 +1,28 @@
+// Package fixdropgood is a poplint fixture: every accepted way to consume a
+// Close-shaped error — handling it, explicit discard, an annotation, and a
+// Close that returns nothing. Zero findings expected.
+package fixdropgood
+
+type sink struct{}
+
+func (sink) Close() error { return nil }
+
+// Handled propagates, discards explicitly, and annotates.
+func Handled(s sink) error {
+	if err := s.Close(); err != nil {
+		return err
+	}
+	_ = s.Close() // explicit discard is visible in review
+	s.Close()     //poplint:allow droppederror fixture documents the annotation escape hatch
+	return nil
+}
+
+type quiet struct{}
+
+// Close returns no error, so a bare call discards nothing.
+func (quiet) Close() {}
+
+// NoError calls the error-free shape.
+func NoError(q quiet) {
+	q.Close()
+}

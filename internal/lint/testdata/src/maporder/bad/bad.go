@@ -1,0 +1,37 @@
+// Package fixmap is a poplint fixture: map iteration reaching emitted
+// output and cost tie-breaks — the exact bug class that flips plan choice
+// between runs.
+package fixmap
+
+import "fmt"
+
+// Render emits map entries in iteration order — nondeterministic output.
+func Render(m map[string]int) string {
+	out := ""
+	for k, v := range m { // want maporder
+		out += fmt.Sprintf("%s=%d;", k, v)
+	}
+	return out
+}
+
+// Best breaks cost ties by iteration order, so ties pick a different
+// winner per process.
+func Best(m map[int]float64) int {
+	best, bestCost := -1, 0.0
+	for k, c := range m { // want maporder
+		if best == -1 || c < bestCost {
+			best, bestCost = k, c
+		}
+	}
+	return best
+}
+
+// CollectedButNeverSorted appends keys yet never orders them, so the
+// collect half of the idiom alone must not pass.
+func CollectedButNeverSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want maporder
+		keys = append(keys, k)
+	}
+	return keys
+}

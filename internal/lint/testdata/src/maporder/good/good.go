@@ -1,0 +1,48 @@
+// Package fixmapgood is a poplint fixture: the three sanctioned shapes of
+// map iteration — collect-then-sort, keyless counting, and an annotated
+// order-insensitive fold. Zero findings expected.
+package fixmapgood
+
+import "sort"
+
+// Keys uses the collect-then-sort idiom the analyzer recognizes.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Pairs collects into two slices, both sorted afterwards.
+func Pairs(m map[string]int) ([]string, []int) {
+	var ks []string
+	var vs []int
+	for k, v := range m {
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	sort.Strings(ks)
+	sort.Ints(vs)
+	return ks, vs
+}
+
+// Count observes no ordering: a keyless range cannot see the key.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Sum is order-insensitive and annotated as such.
+func Sum(m map[string]int) int {
+	total := 0
+	//poplint:allow maporder commutative sum; iteration order cannot change the total
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

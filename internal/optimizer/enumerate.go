@@ -3,6 +3,7 @@ package optimizer
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/catalog"
 	"repro/internal/expr"
@@ -305,8 +306,8 @@ func (pl *planner) addCandidate(cand *Plan) {
 			pl.narrowPair(cand, u)
 		}
 	} else {
-		for key, inc := range group {
-			if key != -1 {
+		for _, inc := range orderedGroup(group) {
+			if inc.ordered != -1 {
 				pl.narrowPair(cand, inc)
 			}
 		}
@@ -342,14 +343,33 @@ func (pl *planner) narrow(winner, loser *Plan) {
 }
 
 // bestOf returns the cheapest plan for the subset across all order keys.
+// Iteration is in sorted order-key order so cost ties break the same way
+// every run — with Go's randomized map iteration a tie would otherwise pick
+// a different plan per process.
 func (pl *planner) bestOf(mask uint64) *Plan {
 	var best *Plan
-	for _, p := range pl.best[mask] {
+	for _, p := range orderedGroup(pl.best[mask]) {
 		if best == nil || p.Cost < best.Cost {
 			best = p
 		}
 	}
 	return best
+}
+
+// orderedGroup returns a subset's per-order-key plans sorted by order key,
+// replacing direct map iteration wherever the visit order can reach plan
+// choice (cost tie-breaks, candidate generation, validity narrowing).
+func orderedGroup(group map[int]*Plan) []*Plan {
+	keys := make([]int, 0, len(group))
+	for k := range group {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]*Plan, len(keys))
+	for i, k := range keys {
+		out[i] = group[k]
+	}
+	return out
 }
 
 // allCols returns the global ids of every column of table ti.
@@ -589,7 +609,7 @@ func (pl *planner) expandSubset(mask uint64) {
 			continue // defer cartesian products unless unavoidable
 		}
 		rest := mask &^ (1 << uint(s.ti))
-		for _, outer := range pl.best[rest] {
+		for _, outer := range orderedGroup(pl.best[rest]) {
 			for _, cand := range pl.joinCandidates(outer, s.ti) {
 				pl.addCandidate(cand)
 			}
@@ -633,7 +653,7 @@ func (pl *planner) enumerateGreedy(full uint64) error {
 		if next < 0 {
 			return fmt.Errorf("optimizer: greedy enumeration stuck at %s", pl.est.maskString(joined))
 		}
-		for _, outer := range pl.best[joined] {
+		for _, outer := range orderedGroup(pl.best[joined]) {
 			for _, cand := range pl.joinCandidates(outer, next) {
 				pl.addCandidate(cand)
 			}

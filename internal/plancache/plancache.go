@@ -225,6 +225,7 @@ func (c *Cache) Stats() Stats {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.RLock()
+		//poplint:allow maporder commutative integer sums; iteration order cannot change the totals
 		for _, e := range s.entries {
 			e.mu.Lock()
 			st.Entries++

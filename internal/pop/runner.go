@@ -272,7 +272,9 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 
 		var cv *executor.CheckViolation
 		if runErr != nil && !errors.As(runErr, &cv) {
-			root.Close()
+			if cerr := root.Close(); cerr != nil {
+				runErr = errors.Join(runErr, cerr)
+			}
 			return nil, runErr
 		}
 		if cv == nil {
