@@ -7,9 +7,12 @@
 //	go run ./cmd/poplint ./...          # whole module (the CI gate)
 //	go run ./cmd/poplint ./internal/... # a subtree
 //	go run ./cmd/poplint -v ./...       # also list suppressed findings
+//	go run ./cmd/poplint -json ./...    # machine-readable findings
 //	go run ./cmd/poplint -rules         # describe the analyzers and exit
 //
-// Each finding prints as "file:line: [rule] message". Exit status is 0 when
+// Each finding prints as "file:line: [rule] message"; -json emits the same
+// findings as a sorted JSON array (a stable, byte-identical encoding for a
+// given tree, for editor and CI integrations). Exit status is 0 when
 // clean, 1 when any finding survives, 2 on load or type-check errors.
 // Sites opt out with `//poplint:allow <rule> <reason>` on (or directly
 // above) the offending line; see internal/lint for the grammar.
@@ -26,6 +29,7 @@ import (
 
 func main() {
 	verbose := flag.Bool("v", false, "also print findings suppressed by //poplint:allow annotations")
+	jsonOut := flag.Bool("json", false, "emit findings as a sorted JSON array on stdout")
 	rules := flag.Bool("rules", false, "describe the analyzers and exit")
 	flag.Parse()
 
@@ -59,12 +63,22 @@ func main() {
 
 	findings, suppressed := lint.Run(prog, lint.Analyzers(), lint.Options{})
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		fmt.Println(relativize(cwd, f).String())
+	for i := range findings {
+		findings[i] = relativize(cwd, findings[i])
 	}
-	if *verbose {
-		for _, f := range suppressed {
-			fmt.Printf("%s (suppressed)\n", relativize(cwd, f).String())
+	if *jsonOut {
+		if err := lint.EncodeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "poplint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+		if *verbose {
+			for _, f := range suppressed {
+				fmt.Printf("%s (suppressed)\n", relativize(cwd, f).String())
+			}
 		}
 	}
 	if len(findings) > 0 {

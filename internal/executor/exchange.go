@@ -2,6 +2,7 @@ package executor
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -147,12 +148,14 @@ type gatherNode struct {
 	clones []Node
 	meters []*Meter
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	ch     chan rowMsg
-	wg     sync.WaitGroup
-	stop   sync.Once
-	opened bool
+	ctx      context.Context
+	cancel   context.CancelFunc
+	ch       chan rowMsg
+	wg       sync.WaitGroup
+	stop     sync.Once
+	opened   bool
+	surfaced bool  // an error was already returned from Next
+	drainErr error // first worker error discarded while draining on abort
 }
 
 func (e *Executor) buildGather(p *optimizer.Plan) (Node, error) {
@@ -226,10 +229,12 @@ func runPartition(ctx context.Context, clone Node, ch chan<- rowMsg) {
 		err = cerr
 	}
 	if err != nil {
-		select {
-		case ch <- rowMsg{err: err}:
-		case <-ctx.Done():
-		}
+		// The consumer (or an abort in progress) always drains the channel
+		// until the closer goroutine closes it, so this send cannot deadlock
+		// — same argument as the probe worker's error delivery. Racing it
+		// against ctx.Done would randomly drop a cancelled clone's Close
+		// error before the drain could retain it.
+		ch <- rowMsg{err: err}
 	}
 }
 
@@ -242,6 +247,7 @@ func (n *gatherNode) Next() (schema.Row, bool, error) {
 	if msg.err != nil {
 		// Join the workers before surfacing the error: the POP controller
 		// harvests stats from a tree it must be able to assume quiescent.
+		n.surfaced = true
 		n.abort()
 		return nil, false, msg.err
 	}
@@ -251,13 +257,27 @@ func (n *gatherNode) Next() (schema.Row, bool, error) {
 }
 
 // abort cancels outstanding workers and drains the channel until the closer
-// goroutine closes it, guaranteeing every worker has exited and flushed.
+// goroutine closes it, guaranteeing every worker has exited and flushed. The
+// first genuine worker error found while draining is retained: when the
+// consumer stops early (LIMIT) rather than on a surfaced error, a clone's
+// Close failure would otherwise vanish in the drain. A drained CheckViolation
+// is not retained — a consumer that stopped needing rows makes a racing
+// cardinality check moot.
 func (n *gatherNode) abort() {
 	n.stop.Do(func() {
 		n.cancel()
-		for range n.ch {
+		for msg := range n.ch {
+			n.retainDrainErr(msg.err)
 		}
 	})
+}
+
+func (n *gatherNode) retainDrainErr(err error) {
+	var cv *CheckViolation
+	//poplint:allow chargeflow a drained violation is discarded as moot, not handled; surfaced violations are traced by the POP controller
+	if err != nil && n.drainErr == nil && !errors.As(err, &cv) {
+		n.drainErr = err
+	}
 }
 
 func (n *gatherNode) Close() error {
@@ -265,7 +285,10 @@ func (n *gatherNode) Close() error {
 		return n.closeChildren()
 	}
 	n.abort() // workers close their own clones
-	return nil
+	if n.surfaced {
+		return nil // the error already reached the consumer via Next
+	}
+	return n.drainErr
 }
 
 // buildEntry is one hashed build row routed to a partition.
@@ -305,13 +328,15 @@ type parallelHSJNNode struct {
 	// folded into the node's stats at collection time via extraWork.
 	analyzeTicks atomic.Int64
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	ch     chan rowMsg
-	wg     sync.WaitGroup
-	stop   sync.Once
-	opened bool
-	probes bool // probe workers launched (ch live)
+	ctx      context.Context
+	cancel   context.CancelFunc
+	ch       chan rowMsg
+	wg       sync.WaitGroup
+	stop     sync.Once
+	opened   bool
+	probes   bool // probe workers launched (ch live)
+	surfaced bool // an error was already returned from Next
+	drainErr error
 }
 
 func (e *Executor) buildParallelHSJN(gp, jp *optimizer.Plan) (Node, error) {
@@ -604,6 +629,7 @@ func (n *parallelHSJNNode) Next() (schema.Row, bool, error) {
 		return nil, false, nil
 	}
 	if msg.err != nil {
+		n.surfaced = true
 		n.abort()
 		return nil, false, msg.err
 	}
@@ -612,14 +638,25 @@ func (n *parallelHSJNNode) Next() (schema.Row, bool, error) {
 	return msg.row, true, nil
 }
 
+// abort mirrors gatherNode.abort, retaining the first genuine probe-worker
+// error the drain would otherwise discard on an early (LIMIT) Close.
 func (n *parallelHSJNNode) abort() {
 	n.stop.Do(func() {
 		n.cancel()
 		if n.probes {
-			for range n.ch {
+			for msg := range n.ch {
+				n.retainDrainErr(msg.err)
 			}
 		}
 	})
+}
+
+func (n *parallelHSJNNode) retainDrainErr(err error) {
+	var cv *CheckViolation
+	//poplint:allow chargeflow a drained violation is discarded as moot, not handled; surfaced violations are traced by the POP controller
+	if err != nil && n.drainErr == nil && !errors.As(err, &cv) {
+		n.drainErr = err
+	}
 }
 
 func closeAll(nodes []Node) error {
@@ -646,5 +683,8 @@ func (n *parallelHSJNNode) Close() error {
 		// launched, so their clones are closed here.
 		return closeAll(n.probeClones)
 	}
-	return nil
+	if n.surfaced {
+		return nil // the error already reached the consumer via Next
+	}
+	return n.drainErr
 }

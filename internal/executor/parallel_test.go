@@ -308,3 +308,46 @@ func TestParallelCheckLowerBound(t *testing.T) {
 		}
 	}
 }
+
+// closeErrNode is a synthetic leaf that streams rows indefinitely and fails
+// on Close — the shape a partition clone takes when its resource release
+// breaks after the consumer stopped early.
+type closeErrNode struct {
+	base
+	closeErr error
+}
+
+func (n *closeErrNode) Open() error { n.stats = NodeStats{Opened: true}; return nil }
+func (n *closeErrNode) Next() (schema.Row, bool, error) {
+	n.stats.RowsOut++
+	return schema.Row{}, true, nil
+}
+func (n *closeErrNode) Close() error { return n.closeErr }
+
+// TestGatherSurfacesCloseErrorOnEarlyClose pins that a worker clone's Close
+// error survives an early (LIMIT-style) termination: the gather's abort
+// drains the worker channel, and before the fix the drain silently discarded
+// the error message the worker had delivered.
+func TestGatherSurfacesCloseErrorOnEarlyClose(t *testing.T) {
+	closeErr := errors.New("clone close failed")
+	clone := &closeErrNode{base: base{plan: &optimizer.Plan{}}, closeErr: closeErr}
+	ex := &Executor{Meter: &Meter{}}
+	ex.stmt = ex.Meter
+	g := &gatherNode{
+		base:   base{plan: &optimizer.Plan{Op: optimizer.OpExchange}},
+		ex:     ex,
+		dop:    1,
+		clones: []Node{clone},
+		meters: []*Meter{{}},
+	}
+	if err := g.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := g.Next(); err != nil || !ok {
+		t.Fatalf("first row: ok=%v err=%v", ok, err)
+	}
+	// The consumer stops before end-of-stream, as a LIMIT does.
+	if err := g.Close(); !errors.Is(err, closeErr) {
+		t.Fatalf("gather Close dropped the clone's close error: got %v", err)
+	}
+}

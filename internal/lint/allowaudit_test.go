@@ -1,0 +1,72 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestEveryAllowIsLoadBearing audits the module's //poplint:allow
+// annotations: each one must suppress at least one finding. An allow that
+// suppresses nothing is stale — the code it excused was fixed or removed,
+// or interprocedural precision stopped flagging the site — and stale allows
+// are holes the gate silently grows through, so they fail here instead.
+func TestEveryAllowIsLoadBearing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	ld := loader(t)
+	prog, err := ld.LoadPatterns("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := ld.Errors(); len(errs) > 0 {
+		t.Fatalf("load errors: %v", errs)
+	}
+	_, suppressed := lint.Run(prog, lint.Analyzers(), lint.Options{})
+
+	type allow struct {
+		file  string
+		line  int // annotation's own line; it covers this line or the next
+		rules string
+	}
+	var allows []allow
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//poplint:allow")
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue // malformed; the allow rule reports it
+					}
+					pos := prog.Fset.Position(c.Pos())
+					allows = append(allows, allow{pos.Filename, pos.Line, fields[0]})
+				}
+			}
+		}
+	}
+	if len(allows) == 0 {
+		t.Fatal("module has no //poplint:allow annotations; the audit loaded the wrong tree")
+	}
+	for _, a := range allows {
+		found := false
+		for _, f := range suppressed {
+			if f.Pos.Filename != a.file {
+				continue
+			}
+			if (f.Pos.Line == a.line || f.Pos.Line == a.line+1) &&
+				strings.Contains(a.rules, f.Rule) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: //poplint:allow %s suppresses no finding; remove the stale annotation", a.file, a.line, a.rules)
+		}
+	}
+}

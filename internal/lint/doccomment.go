@@ -1,0 +1,47 @@
+package lint
+
+import "strings"
+
+// DocCommentAnalyzer ports the standalone doc-lint test into the suite:
+// every package under internal/ and cmd/ must carry exactly one godoc
+// package comment, opening with the canonical "Package <name>" form
+// ("Command <name>" for main packages) so `go doc` renders it. Running it
+// as an analyzer puts package docs under cmd/poplint and the self-gate
+// instead of a separate CI step.
+var DocCommentAnalyzer = &Analyzer{
+	Name: "doccomment",
+	Doc:  "every internal/cmd package needs exactly one canonical godoc package comment",
+	Run:  runDocComment,
+}
+
+var docCommentScope = []string{"repro/internal", "repro/cmd"}
+
+func runDocComment(prog *Program, report ReportFunc) {
+	for _, pkg := range prog.Packages {
+		if !inScope(pkg.Path, docCommentScope) {
+			continue
+		}
+		documented := 0
+		for _, file := range pkg.Files {
+			if file.Doc == nil {
+				continue
+			}
+			documented++
+			if documented > 1 {
+				report(file.Doc.Pos(), "package %s is documented in more than one file; keep a single package comment", file.Name.Name)
+				continue
+			}
+			doc := file.Doc.Text()
+			wantPrefix := "Package " + file.Name.Name
+			if file.Name.Name == "main" {
+				wantPrefix = "Command "
+			}
+			if !strings.HasPrefix(doc, wantPrefix) {
+				report(file.Doc.Pos(), "package comment must start with %q", wantPrefix)
+			}
+		}
+		if documented == 0 && len(pkg.Files) > 0 {
+			report(pkg.Files[0].Package, "package %s has no godoc package comment", pkg.Files[0].Name.Name)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is the stable machine-readable record `poplint -json` emits,
+// one object per finding. Field order and finding order (file, line,
+// column, rule, message — the sortFindings order) are deterministic so CI
+// diffs and the 8-run byte-identity test hold.
+type JSONFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// EncodeJSON writes findings as a JSON array (never null — an empty run
+// encodes as []), one record per finding in their existing sorted order,
+// followed by a newline.
+func EncodeJSON(w io.Writer, findings []Finding) error {
+	records := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		records = append(records, JSONFinding{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Rule:    f.Rule,
+			Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

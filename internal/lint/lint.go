@@ -40,13 +40,19 @@ const AllowRule = "allow"
 
 const allowPrefix = "//poplint:allow"
 
-// Analyzers returns the full POP suite in reporting order.
+// Analyzers returns the full POP suite in reporting order: the four
+// intra-procedural rules from the original suite, the doc-comment gate,
+// and the three interprocedural rules built on the call graph.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
 		MapOrderAnalyzer,
 		DroppedErrorAnalyzer,
 		AtomicAnalyzer,
+		DocCommentAnalyzer,
+		GoroutineLeakAnalyzer,
+		LockOrderAnalyzer,
+		ChargeFlowAnalyzer,
 	}
 }
 
@@ -98,7 +104,10 @@ func sortFindings(fs []Finding) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 }
 

@@ -96,6 +96,15 @@ func TestGoldenFixtures(t *testing.T) {
 		{"droppederror/good", "repro/internal/fixdropgood"},
 		{"atomicplain/bad", "repro/internal/fixatomic"},
 		{"atomicplain/good", "repro/internal/fixatomicgood"},
+		{"doccomment/bad", "repro/internal/fixdoc"},
+		{"doccomment/missing", "repro/internal/fixdocmissing"},
+		{"doccomment/good", "repro/internal/fixdocgood"},
+		{"goroutineleak/bad", "repro/internal/fixgoleak"},
+		{"goroutineleak/good", "repro/internal/fixgoleakgood"},
+		{"lockorder/bad", "repro/internal/fixlock"},
+		{"lockorder/good", "repro/internal/fixlockgood"},
+		{"chargeflow/bad", "repro/internal/executor/fixcharge"},
+		{"chargeflow/good", "repro/internal/executor/fixchargegood"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -1,0 +1,41 @@
+// Package fixcg is a poplint fixture: a small interface hierarchy plus
+// literal and deferred calls, exercising the call-graph layer's CHA
+// dispatch resolution and function-literal tracking.
+package fixcg
+
+// Animal is the dispatch interface of the fixture hierarchy.
+type Animal interface{ Sound() string }
+
+// Dog implements Animal by value.
+type Dog struct{}
+
+// Sound implements Animal.
+func (Dog) Sound() string { return "woof" }
+
+// Cat implements Animal by pointer.
+type Cat struct{ n int }
+
+// Sound implements Animal.
+func (c *Cat) Sound() string { c.n++; return "meow" }
+
+// Speak dispatches through the interface: CHA must resolve the call to both
+// concrete implementations.
+func Speak(a Animal) string { return a.Sound() }
+
+// SpawnLit launches a function literal; the graph must track the literal as
+// the spawn's callee and see Speak inside it.
+func SpawnLit() {
+	done := make(chan struct{})
+	go func() {
+		Speak(Dog{})
+		close(done)
+	}()
+	<-done
+}
+
+// Deferred defers a call; deferred calls are ordinary call edges.
+func Deferred() string {
+	c := &Cat{}
+	defer Speak(c)
+	return "done"
+}

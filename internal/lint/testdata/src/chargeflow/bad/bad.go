@@ -1,0 +1,55 @@
+// Package fixcharge is a poplint fixture: the accounting gaps the
+// chargeflow rule must catch — a row-producing operator that never charges
+// the meter, a CheckViolation that never marks its node, a caught
+// violation that is never traced, and an untraced plan-cache invalidation.
+package fixcharge
+
+import (
+	"errors"
+
+	"repro/internal/executor"
+	"repro/internal/optimizer"
+	"repro/internal/plancache"
+	"repro/internal/schema"
+)
+
+// freeNode produces rows without ever reaching a Meter.Add from Next or
+// Open: its rows are invisible to the simulated-work accounting.
+type freeNode struct {
+	stats executor.NodeStats
+	n     int
+}
+
+func (f *freeNode) Open() error { return nil }
+
+func (f *freeNode) Next() (schema.Row, bool, error) { // want chargeflow
+	if f.n == 0 {
+		return nil, false, nil
+	}
+	f.n--
+	return schema.Row{}, true, nil
+}
+
+func (f *freeNode) Close() error               { return nil }
+func (f *freeNode) Plan() *optimizer.Plan      { return nil }
+func (f *freeNode) Stats() *executor.NodeStats { return &f.stats }
+func (f *freeNode) Children() []executor.Node  { return nil }
+
+// RaiseUnmarked constructs a CheckViolation but no NodeStats.Violated
+// write is reachable: the violation vanishes from EXPLAIN ANALYZE.
+func RaiseUnmarked(meta *optimizer.CheckMeta) error {
+	return &executor.CheckViolation{Check: meta, Actual: 1} // want chargeflow
+}
+
+// CatchSilently extracts a violation without a reachable
+// trace.CheckpointViolated emission.
+func CatchSilently(err error) bool {
+	var cv *executor.CheckViolation
+	return errors.As(err, &cv) // want chargeflow
+}
+
+// DropQuietly invalidates a cached plan without a reachable
+// trace.CacheInvalidate emission.
+func DropQuietly(e *plancache.Entry, cp *plancache.CachedPlan) {
+	e.Invalidate(cp) // want chargeflow
+}

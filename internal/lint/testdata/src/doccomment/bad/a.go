@@ -1,0 +1,5 @@
+// The wrong opening line for a package comment. // want doccomment
+package fixdoc
+
+// A exists so the file has a declaration.
+var A int

@@ -1,0 +1,5 @@
+// Package fixdoc documented a second time. // want doccomment
+package fixdoc
+
+// B exists so the file has a declaration.
+var B int

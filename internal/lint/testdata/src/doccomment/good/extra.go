@@ -1,0 +1,5 @@
+package fixdocgood
+
+// Extra lives in a second, undocumented file — only one file may carry the
+// package comment.
+var Extra int

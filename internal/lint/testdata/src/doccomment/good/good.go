@@ -1,0 +1,6 @@
+// Package fixdocgood is a poplint fixture: the canonical single package
+// comment the doccomment rule must accept.
+package fixdocgood
+
+// G exists so the file has a declaration.
+var G int

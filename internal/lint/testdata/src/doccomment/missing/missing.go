@@ -1,0 +1,4 @@
+package fixdocmissing // want doccomment
+
+// M exists so the file has a declaration.
+var M int

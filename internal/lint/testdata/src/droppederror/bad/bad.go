@@ -15,6 +15,6 @@ func Leak(f *os.File) {
 	s := sink{}
 	s.Close()       // want droppederror
 	defer s.Flush() // want droppederror
-	go s.Run()      // want droppederror
+	go s.Run()      // want droppederror goroutineleak
 	f.Close()       // want droppederror
 }

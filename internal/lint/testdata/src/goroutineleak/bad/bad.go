@@ -1,0 +1,40 @@
+// Package fixgoleak is a poplint fixture: go statements with no provable
+// join — a bare literal, a named worker, an unresolvable function value,
+// and a half-wired WaitGroup whose goroutine never calls Done.
+package fixgoleak
+
+import "sync"
+
+// counter gives the goroutines a side effect to perform.
+var counter int
+
+func work() { counter++ }
+
+// SpawnLiteral leaks a bare literal: no WaitGroup pairing, no channel close.
+func SpawnLiteral() {
+	go func() { // want goroutineleak
+		work()
+	}()
+}
+
+// SpawnNamed leaks a named worker the same way.
+func SpawnNamed() {
+	go work() // want goroutineleak
+}
+
+// SpawnValue spawns through a function value the analyzer cannot resolve,
+// so no join can be proven.
+func SpawnValue(f func()) {
+	go f() // want goroutineleak
+}
+
+// SpawnHalfJoined Adds and Waits but the goroutine never calls Done: the
+// pairing is incomplete and Wait deadlocks.
+func SpawnHalfJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want goroutineleak
+		work()
+	}()
+	wg.Wait()
+}

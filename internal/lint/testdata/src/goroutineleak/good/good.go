@@ -1,0 +1,39 @@
+// Package fixgoleakgood is a poplint fixture: the two join idioms the POP
+// exchange runtime uses — WaitGroup-paired workers and a closer goroutine
+// whose channel close is observed by the consumer.
+package fixgoleakgood
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+// Start spawns workers joined through the WaitGroup and a closer joined
+// through the channel close that Drain observes.
+func (p *pool) Start() {
+	for i := 0; i < 4; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	go func() {
+		p.wg.Wait()
+		close(p.ch)
+	}()
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	p.ch <- 1
+}
+
+// Drain receives until the closer closes the channel — the receive
+// completing is the join witness for the closer goroutine.
+func (p *pool) Drain() int {
+	total := 0
+	for v := range p.ch {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,58 @@
+// Package fixlock is a poplint fixture: the lock hazards the lockorder
+// rule must catch — an acquisition cycle, a lock held across a channel
+// send, a lock held across a call whose closure blocks, and a recursive
+// acquisition.
+package fixlock
+
+import "sync"
+
+type state struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	ch chan int
+}
+
+// LockAB nests b under a: the first half of the cycle.
+func (s *state) LockAB() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+// LockBA nests a under b, closing the cycle LockAB opened.
+func (s *state) LockBA() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock() // want lockorder
+	defer s.a.Unlock()
+}
+
+// HoldAcrossSend blocks on a channel send with the mutex held: every other
+// acquirer starves until a receiver shows up.
+func (s *state) HoldAcrossSend() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.ch <- 1 // want lockorder
+}
+
+// blockingDrain may block on the receive.
+func (s *state) blockingDrain() int {
+	return <-s.ch
+}
+
+// HoldAcrossCall holds the mutex across a call whose closure blocks — the
+// interprocedural case a per-function rule cannot see.
+func (s *state) HoldAcrossCall() int {
+	s.a.Lock()
+	defer s.a.Unlock()
+	return s.blockingDrain() // want lockorder
+}
+
+// Recursive re-acquires a mutex it already holds: self-deadlock.
+func (s *state) Recursive() {
+	s.a.Lock()
+	s.a.Lock() // want lockorder
+	s.a.Unlock()
+	s.a.Unlock()
+}

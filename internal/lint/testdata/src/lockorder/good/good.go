@@ -1,0 +1,36 @@
+// Package fixlockgood is a poplint fixture: lock usage the lockorder rule
+// must accept — a consistent nesting order repeated at two sites, and a
+// channel send performed only after the mutex is released.
+package fixlockgood
+
+import "sync"
+
+type state struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	ch chan int
+}
+
+// Nested takes a before b.
+func (s *state) Nested() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+// NestedAgain repeats the same a-then-b order: consistent, no cycle.
+func (s *state) NestedAgain() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// SendOutsideLock releases the mutex before the blocking send.
+func (s *state) SendOutsideLock() {
+	s.a.Lock()
+	v := 1
+	s.a.Unlock()
+	s.ch <- v
+}

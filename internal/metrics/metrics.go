@@ -26,6 +26,7 @@ const workTick = 1 << 20
 // to use.
 type Registry struct {
 	queries    atomic.Int64
+	failed     atomic.Int64
 	optimizes  atomic.Int64
 	reopts     atomic.Int64
 	violations atomic.Int64
@@ -120,12 +121,15 @@ func (r *Registry) Record(ev trace.Event) {
 			r.rows.Add(int64(ev.Done.Rows))
 			r.execTicks.Add(int64(math.Round(ev.Done.Work * workTick)))
 		}
+	case trace.QueryError:
+		r.failed.Add(1)
 	}
 }
 
 // Snapshot is a point-in-time copy of every counter, JSON-encodable.
 type Snapshot struct {
 	Queries           int64 `json:"queries"`
+	QueriesFailed     int64 `json:"queries_failed"`
 	Optimizations     int64 `json:"optimizations"`
 	Reoptimizations   int64 `json:"reoptimizations"`
 	CheckViolations   int64 `json:"check_violations"`
@@ -156,6 +160,7 @@ type Snapshot struct {
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Queries:           r.queries.Load(),
+		QueriesFailed:     r.failed.Load(),
 		Optimizations:     r.optimizes.Load(),
 		Reoptimizations:   r.reopts.Load(),
 		CheckViolations:   r.violations.Load(),
@@ -197,6 +202,7 @@ func (r *Registry) Snapshot() Snapshot {
 func (s Snapshot) WriteText(w io.Writer) {
 	line := func(name string, v interface{}) { fmt.Fprintf(w, "%-22s %v\n", name, v) }
 	line("queries", s.Queries)
+	line("queries failed", s.QueriesFailed)
 	line("optimizations", s.Optimizations)
 	line("reoptimizations", s.Reoptimizations)
 	line("check violations", s.CheckViolations)
@@ -211,6 +217,7 @@ func (s Snapshot) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "%-22s %.3f\n", "worker utilization", s.WorkerUtilization)
 	line("rows returned", s.RowsReturned)
 	fmt.Fprintf(w, "%-22s %.1f\n", "exec work", s.ExecWork)
+	fmt.Fprintf(w, "%-22s %.1f\n", "worker work", s.WorkerWork)
 	line("opt candidates", s.OptCandidates)
 	if len(s.WorkByClass) > 0 {
 		classes := make([]string, 0, len(s.WorkByClass))

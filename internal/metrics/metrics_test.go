@@ -163,3 +163,30 @@ func TestConcurrentRecord(t *testing.T) {
 		t.Errorf("WorkByClass[join] = %v, want %d", s.WorkByClass["join"], workers*per)
 	}
 }
+
+// TestFailedQueriesCounted pins the failure accounting added with the
+// query_error event: failed statements land in their own counter and appear
+// in the text rendering, which must also carry the worker-work total that
+// the utilization ratio is derived from.
+func TestFailedQueriesCounted(t *testing.T) {
+	r := New()
+	feed(r)
+	r.Record(trace.Event{Kind: trace.QueryError, Err: &trace.ErrInfo{Error: "boom"}})
+
+	s := r.Snapshot()
+	if s.QueriesFailed != 1 {
+		t.Fatalf("QueriesFailed = %d, want 1", s.QueriesFailed)
+	}
+	if s.Queries != 2 {
+		t.Fatalf("a failed statement must not count as completed: Queries = %d", s.Queries)
+	}
+
+	var b strings.Builder
+	s.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"queries failed", "worker work"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/pop"
 	"repro/internal/schema"
 	"repro/internal/tpch"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -339,5 +340,52 @@ func TestConcurrentRuns(t *testing.T) {
 	}
 	if st.Hits == 0 {
 		t.Errorf("repeated bindings should produce hits, got %+v", st)
+	}
+}
+
+// TestInvalidationAccountsReoptimize pins the invalidation path's accounting:
+// the re-cache optimization must pair its optimize_start with an
+// optimize_done and fold its candidate work into ExecInfo.OptWork. A
+// regression here under-reports exactly the executions POP worked hardest on
+// and skews every consumer that correlates start/done events.
+func TestInvalidationAccountsReoptimize(t *testing.T) {
+	cat := correlatedFixture(t)
+	q := correlatedQuery(t, cat)
+	col := trace.NewCollector()
+	opts := pop.DefaultOptions()
+	opts.Trace = col
+	r := NewRunner(New(), cat, opts)
+
+	_, info, err := r.Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Invalidated {
+		t.Fatal("fixture should invalidate on the first run")
+	}
+
+	starts := col.OfKind(trace.OptimizeStart)
+	dones := col.OfKind(trace.OptimizeDone)
+	if len(starts) != len(dones) {
+		t.Fatalf("unpaired optimize events: %d starts vs %d dones", len(starts), len(dones))
+	}
+
+	// Cache-level events carry the key hash as their statement identity; the
+	// POP runner's own attempts carry the binding signature. The cache must
+	// emit exactly two pairs here: the miss and the post-invalidation re-cache.
+	kh := hashKey(Key(q))
+	cacheDones, cacheWork := 0, 0
+	for _, ev := range dones {
+		if ev.Query == kh {
+			cacheDones++
+			cacheWork += ev.Opt.Candidates
+		}
+	}
+	if cacheDones != 2 {
+		t.Fatalf("want miss + re-cache optimize_done pairs, got %d", cacheDones)
+	}
+	if info.OptWork != cacheWork {
+		t.Errorf("OptWork %d does not account all cache-side optimization work (want %d)",
+			info.OptWork, cacheWork)
 	}
 }

@@ -194,16 +194,27 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*pop.Result, ExecI
 		if tr := r.Opts.Trace; tr != nil {
 			tr.Record(trace.Event{Kind: trace.OptimizeStart, Query: kh})
 		}
-		if plan, err := opt.Optimize(q); err == nil {
-			if tr := r.Opts.Trace; tr != nil {
-				tr.Record(trace.Event{Kind: trace.OptimizeDone, Query: kh, Opt: &trace.OptInfo{
-					PlanSig:    pop.PlanSig(plan, q),
-					Cost:       plan.Cost,
-					Candidates: opt.EnumeratedCandidates,
-				}})
-			}
-			r.insert(entry, plan, q)
+		plan, rerr := opt.Optimize(q)
+		if rerr != nil {
+			// The POP runner just re-optimized this same query with the same
+			// feedback and succeeded, so a failure here is an invariant breach
+			// worth surfacing — and swallowing it would leave the
+			// OptimizeStart above unpaired, skewing every consumer that
+			// correlates start/done events (the metrics registry among them).
+			return res, info, fmt.Errorf("plancache: re-optimize after invalidation: %w", rerr)
 		}
+		if tr := r.Opts.Trace; tr != nil {
+			tr.Record(trace.Event{Kind: trace.OptimizeDone, Query: kh, Opt: &trace.OptInfo{
+				PlanSig:    pop.PlanSig(plan, q),
+				Cost:       plan.Cost,
+				Candidates: opt.EnumeratedCandidates,
+			}})
+		}
+		// The re-optimization is real optimizer work this execution performed;
+		// without it OptWork under-reports exactly the runs where POP did the
+		// most (guard evals or miss work alone, re-cache cost dropped).
+		info.OptWork += opt.EnumeratedCandidates
+		r.insert(entry, plan, q)
 	}
 
 	info.CachedPlans = len(entry.Plans())

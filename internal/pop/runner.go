@@ -149,6 +149,17 @@ func (r *Runner) newOptimizer(fb *stats.Feedback) *optimizer.Optimizer {
 // statements sharing a catalog never observe each other's intermediates.
 var statementCounter atomic.Uint64
 
+// fail closes a failed statement's event stream with a terminal query_error
+// before propagating the error. Every abort path goes through it so the trace
+// never ends on a dangling optimize_start (or silently mid-attempt) — a
+// consumer, the metrics registry included, can always account the statement.
+func fail(tr *stampRecorder, err error) error {
+	if tr != nil {
+		tr.Record(trace.Event{Kind: trace.QueryError, Err: &trace.ErrInfo{Error: err.Error()}})
+	}
+	return err
+}
+
 // Run compiles and executes the query, re-optimizing on CHECK violations.
 func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 	fb := r.Opts.SharedFeedback
@@ -213,7 +224,7 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 			var err error
 			plan, err = opt.Optimize(q)
 			if err != nil {
-				return nil, err
+				return nil, fail(tr, err)
 			}
 		}
 		optimized := plan
@@ -240,7 +251,7 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 
 		ex, err := executor.NewExecutor(r.Cat, q, params, opt.Model.Params, meter)
 		if err != nil {
-			return nil, err
+			return nil, fail(tr, err)
 		}
 		ex.Analyze = r.Opts.Analyze
 		if tr != nil {
@@ -248,7 +259,7 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 		}
 		root, err := ex.Build(plan)
 		if err != nil {
-			return nil, err
+			return nil, fail(tr, err)
 		}
 		var emitted *executor.ReturnedSet
 		if r.Opts.Pipelined {
@@ -275,7 +286,7 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 			if cerr := root.Close(); cerr != nil {
 				runErr = errors.Join(runErr, cerr)
 			}
-			return nil, runErr
+			return nil, fail(tr, runErr)
 		}
 		if cv == nil {
 			// Completed.
@@ -324,7 +335,7 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 		// dropped — now aborts the run instead of silently re-optimizing over
 		// a tree that failed to release its resources.
 		if cerr := root.Close(); cerr != nil {
-			return nil, fmt.Errorf("pop: closing violated attempt %d: %w", attempt+1, cerr)
+			return nil, fail(tr, fmt.Errorf("pop: closing violated attempt %d: %w", attempt+1, cerr))
 		}
 		// Charge the optimizer re-invocation (context switch, Fig. 12 gap).
 		meter.Add(opt.Model.Params.ReoptInvoke)
@@ -332,8 +343,8 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 		pol.FailCheckIDs = nil
 
 		if attempt >= r.Opts.MaxReopts {
-			return nil, fmt.Errorf("pop: re-optimization limit exceeded (%d attempts): %w",
-				attempt+1, cv)
+			return nil, fail(tr, fmt.Errorf("pop: re-optimization limit exceeded (%d attempts): %w",
+				attempt+1, cv))
 		}
 	}
 }

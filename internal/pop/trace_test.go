@@ -204,3 +204,36 @@ func TestTracedQ10(t *testing.T) {
 		t.Error("traced Q10 must close with one query_done")
 	}
 }
+
+// TestFailedRunEmitsQueryError pins the terminal event of a failed
+// statement: the trace must end with a query_error carrying the failure,
+// not stop dead after an optimize_start. Failure is forced by running a
+// query built against one catalog on an empty one, so the initial
+// optimization's table lookup fails.
+func TestFailedRunEmitsQueryError(t *testing.T) {
+	cat := correlatedFixture(t)
+	q := correlatedQuery(t, cat)
+
+	col := trace.NewCollector()
+	opts := DefaultOptions()
+	opts.Trace = col
+	_, err := NewRunner(catalog.New(), opts).Run(q, nil)
+	if err == nil {
+		t.Fatal("run against an empty catalog must fail")
+	}
+
+	evs := col.Events()
+	if len(evs) == 0 {
+		t.Fatal("failed run emitted no events")
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != trace.QueryError {
+		t.Fatalf("stream must end with query_error, got %q", last.Kind)
+	}
+	if last.Err == nil || last.Err.Error != err.Error() {
+		t.Errorf("query_error payload %+v does not carry the run error %q", last.Err, err)
+	}
+	if len(col.OfKind(trace.QueryDone)) != 0 {
+		t.Error("failed run must not emit query_done")
+	}
+}

@@ -11,7 +11,7 @@ import (
 	"repro/internal/types"
 )
 
-func testCatalog(t *testing.T) *catalog.Catalog {
+func testCatalog(t testing.TB) *catalog.Catalog {
 	t.Helper()
 	c := catalog.New()
 	users, err := c.CreateTable("users", schema.New(

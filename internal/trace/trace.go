@@ -56,6 +56,10 @@ const (
 	OperatorDone Kind = "operator_done"
 	// QueryDone closes a statement's event stream (payload: Done).
 	QueryDone Kind = "query_done"
+	// QueryError closes a failed statement's event stream (payload: Err).
+	// Without it an abort mid-optimization leaves a dangling optimize_start
+	// and a consumer cannot tell a failed statement from a truncated trace.
+	QueryError Kind = "query_error"
 )
 
 // CheckInfo is the payload of checkpoint events: the estimate the validity
@@ -132,6 +136,11 @@ type DoneInfo struct {
 	Reopts int     `json:"reopts"`
 }
 
+// ErrInfo is the payload of query_error.
+type ErrInfo struct {
+	Error string `json:"error"`
+}
+
 // Event is one trace record. Query is the statement's full-subset signature
 // (or, for cache events, its normalized cache-key hash); Attempt numbers the
 // optimize→execute round the event belongs to, 0-based.
@@ -148,6 +157,7 @@ type Event struct {
 	Worker *WorkerInfo `json:"worker,omitempty"`
 	Op     *OpInfo     `json:"op,omitempty"`
 	Done   *DoneInfo   `json:"done,omitempty"`
+	Err    *ErrInfo    `json:"error,omitempty"`
 }
 
 // Recorder receives events. Implementations must be safe for concurrent use:
