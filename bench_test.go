@@ -364,6 +364,67 @@ func BenchmarkExecuteQ3(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchExecution compares row-at-a-time against batch-at-a-time
+// execution of the Q10-shaped POP pipeline at batch sizes {1, 64, 1024}.
+// Before timing, it asserts the vectorization contract: the simulated work
+// total is bit-identical and the result multiset equal across every mode.
+// allocs/op and ns/op show what batching buys.
+func BenchmarkBatchExecution(b *testing.B) {
+	cat := tpchFixture(b)
+	q, err := tpch.Q10Param(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := []types.Datum{types.NewFloat(25)}
+
+	run := func(b *testing.B, batchSize int) *pop.Result {
+		opts := pop.DefaultOptions()
+		opts.BatchSize = batchSize
+		res, err := pop.NewRunner(cat, opts).Run(q, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+
+	want := run(b, 0)
+	if len(want.Rows) == 0 {
+		b.Fatal("Q10 produced no rows")
+	}
+	wantRows := benchCanon(want.Rows)
+	for _, size := range []int{1, 64, 1024} {
+		got := run(b, size)
+		if got.Work != want.Work {
+			b.Fatalf("batch=%d work %v differs from row-mode work %v", size, got.Work, want.Work)
+		}
+		gotRows := benchCanon(got.Rows)
+		if len(gotRows) != len(wantRows) {
+			b.Fatalf("batch=%d returned %d rows, row mode returned %d", size, len(gotRows), len(wantRows))
+		}
+		for i := range gotRows {
+			if gotRows[i] != wantRows[i] {
+				b.Fatalf("batch=%d row %d: got %s, want %s", size, i, gotRows[i], wantRows[i])
+			}
+		}
+	}
+
+	for _, size := range []int{0, 1, 64, 1024} {
+		name := "row"
+		if size > 0 {
+			name = fmt.Sprintf("batch=%d", size)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res *pop.Result
+			for i := 0; i < b.N; i++ {
+				res = run(b, size)
+			}
+			b.ReportMetric(res.Work, "work_units")
+			b.ReportMetric(float64(len(res.Rows)), "rows")
+		})
+	}
+}
+
 // --------------------------------------------------------------------------
 // Parallel execution (exchange operators / partitioned hash join).
 

@@ -11,6 +11,7 @@
 //	popbench -parallel            # parallel-runtime study → BENCH_parallel.json
 //	popbench -plancache           # plan-cache study → BENCH_plancache.json
 //	popbench -observability       # tracing-overhead study → BENCH_observability.json
+//	popbench -batch               # batch-execution study → BENCH_batch.json
 package main
 
 import (
@@ -41,10 +42,12 @@ func main() {
 		sweeps   = flag.Int("sweeps", 3, "binding sweeps for the plan-cache and observability studies")
 		obs      = flag.Bool("observability", false, "run the tracing-overhead study")
 		obsOut   = flag.String("obsout", "BENCH_observability.json", "output path for the observability study JSON")
+		batch    = flag.Bool("batch", false, "run the batch-execution study (row vs batch sizes × DOPs)")
+		batchOut = flag.String("batchout", "BENCH_batch.json", "output path for the batch study JSON")
 	)
 	flag.Parse()
 
-	if !*all && *fig == 0 && *table == 0 && !*parallel && !*pcache && !*obs {
+	if !*all && *fig == 0 && *table == 0 && !*parallel && !*pcache && !*obs && !*batch {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -185,6 +188,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *obsOut)
 	}
 
+	runBatch := func() {
+		res, err := harness.BatchStudy(loadTPCH(), *sweeps)
+		if err != nil {
+			fatal(err)
+		}
+		harness.WriteBatch(os.Stdout, res)
+		f, err := os.Create(*batchOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteBatchJSON(f, res); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *batchOut)
+	}
+
 	if *all {
 		harness.WriteTable1(os.Stdout)
 		fmt.Println()
@@ -196,6 +219,8 @@ func main() {
 		runPlanCache()
 		fmt.Println()
 		runObservability()
+		fmt.Println()
+		runBatch()
 		return
 	}
 	if *table == 1 {
@@ -215,6 +240,9 @@ func main() {
 	}
 	if *obs {
 		runObservability()
+	}
+	if *batch {
+		runBatch()
 	}
 }
 

@@ -1,7 +1,6 @@
 package executor
 
 import (
-	"hash/fnv"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -9,6 +8,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/schema"
 	"repro/internal/trace"
+	"repro/internal/types"
 )
 
 // CheckEventInfo builds the trace payload for a checkpoint event: the
@@ -90,6 +90,10 @@ type checkNode struct {
 	sc   *sharedCheck
 	skip bool // this instance validated at Open; per-row checks off
 	eof  bool // this instance already accounted its end-of-stream
+
+	edge    *batchEdge // batch-mode child edge
+	pending error      // violation held until the truncated batch is delivered
+	checkT  int64      // pre-scaled per-row CheckRow charge
 }
 
 func (e *Executor) buildCheck(p *optimizer.Plan) (Node, error) {
@@ -141,9 +145,14 @@ func (n *checkNode) touch() {
 
 func (n *checkNode) Open() error {
 	n.stats = NodeStats{Opened: true}
+	n.pending = nil
+	n.checkT = Ticks(n.ex.Cost.CheckRow)
 	child := n.children[0]
 	if err := child.Open(); err != nil {
 		return err
+	}
+	if n.ex.BatchSize > 0 {
+		n.edge = n.ex.batchEdge(child)
 	}
 	// Lazy checks above materialization points validate once, against the
 	// completed materialization's exact cardinality. Under parallelism only
@@ -218,6 +227,91 @@ func (n *checkNode) Next() (schema.Row, bool, error) {
 	return row, true, nil
 }
 
+// NextBatch is the batched CHECK: it counts whole batches into the shared
+// counter and raises a violation at exactly the same logical row as the row
+// path. The pull size is clamped so a serial stream's crossing batch holds
+// exactly the rows up to and including count == Hi+1 — the violating row is
+// truncated from the delivered batch and the violation is either returned
+// immediately (empty batch) or held in pending until the next pull, mirroring
+// the row path's row-by-row delivery order. CheckRow is charged once per
+// batch, pre-scaled, so work totals are bit-identical to row mode.
+func (n *checkNode) NextBatch(max int) (*Batch, error) {
+	if n.pending != nil {
+		err := n.pending
+		n.pending = nil
+		return nil, err
+	}
+	r := n.plan.Check.Range
+	passthrough := n.skip || n.sc.validated.Load()
+	lim := max
+	if lim <= 0 || lim > n.edge.size {
+		lim = n.edge.size
+	}
+	if !passthrough && !math.IsInf(r.Hi, 1) {
+		// Never pull past the crossing row: the batch that crosses the upper
+		// bound then holds exactly the rows to emit plus the violating row.
+		if rem := int64(r.Hi) + 1 - n.sc.count.Load(); rem < int64(lim) {
+			lim = int(rem)
+			if lim < 1 {
+				lim = 1
+			}
+		}
+	}
+	b, err := n.edge.pull(lim)
+	if err != nil {
+		return nil, err
+	}
+	if passthrough {
+		if b == nil {
+			n.stats.Done = true
+			return nil, nil
+		}
+		n.stats.RowsOut += float64(b.Len())
+		return b, nil
+	}
+	if b == nil {
+		n.stats.Done = true
+		if !n.eof {
+			n.eof = true
+			if n.sc.streams.Add(-1) == 0 {
+				n.chargeTicks(n.ex, n.checkT, 1)
+				n.touch()
+				c := float64(n.sc.count.Load())
+				if c < r.Lo {
+					return nil, n.violation(c, true)
+				}
+				n.passed(c, true)
+			}
+		}
+		return nil, nil
+	}
+	k := b.Len()
+	n.chargeTicks(n.ex, n.checkT, k)
+	n.touch()
+	c := n.sc.count.Add(int64(k))
+	prev := c - int64(k)
+	if float64(c) > r.Hi {
+		if float64(prev) > r.Hi {
+			// A sibling instance already crossed the bound; stop emitting
+			// quietly — the enclosing exchange cancels this stream.
+			return nil, nil
+		}
+		// This batch contains the crossing row: emit the rows below the
+		// bound, report the violation at count == Hi+1.
+		emit := int(int64(r.Hi) - prev)
+		b.Rows = b.Rows[:emit]
+		viol := n.violation(r.Hi+1, false)
+		if emit == 0 {
+			return nil, viol
+		}
+		n.pending = viol
+		n.stats.RowsOut += float64(emit)
+		return b, nil
+	}
+	n.stats.RowsOut += float64(k)
+	return b, nil
+}
+
 func (n *checkNode) Close() error { return n.closeChildren() }
 
 // Rewind restarts the output stream when the child supports it; the
@@ -250,11 +344,11 @@ func (e *notRewindableError) Error() string {
 // compensation uses it as the surrogate rid for derived rows (the paper
 // constructs rids for rows derived from base tables).
 func RowDigest(row schema.Row) uint64 {
-	h := fnv.New64a()
+	h := types.HashSeed
 	for _, d := range row {
-		d.HashInto(h)
+		h = d.HashFold(h)
 	}
-	return h.Sum64()
+	return h
 }
 
 // ReturnedSet is the ECDC side table S: a multiset of the digests of rows

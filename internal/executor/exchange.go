@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 
@@ -44,10 +43,14 @@ func (e *Executor) workerEvent(kind trace.Kind, phase string, worker, dop int, r
 // exchangeBuffer is the per-worker capacity of an exchange's output channel.
 const exchangeBuffer = 64
 
-// rowMsg carries one row or a terminal error from a worker to the consumer.
+// rowMsg carries one row (row mode), one transfer batch (batch mode), or a
+// terminal error from a worker to the consumer. Batch and row payloads
+// share one channel so the abort/drain/error-delivery contracts are
+// identical in both modes.
 type rowMsg struct {
-	row schema.Row
-	err error
+	row   schema.Row
+	batch *Batch
+	err   error
 }
 
 // buildExchange dispatches a GATHER plan node to its executable form: a
@@ -156,6 +159,9 @@ type gatherNode struct {
 	opened   bool
 	surfaced bool  // an error was already returned from Next
 	drainErr error // first worker error discarded while draining on abort
+
+	held   *Batch // last delivered transfer batch, recycled on the next pull
+	exRowT int64  // pre-scaled per-row exchange charge
 }
 
 func (e *Executor) buildGather(p *optimizer.Plan) (Node, error) {
@@ -175,6 +181,8 @@ func (e *Executor) buildGather(p *optimizer.Plan) (Node, error) {
 
 func (n *gatherNode) Open() error {
 	n.stats = NodeStats{Opened: true}
+	n.exRowT = Ticks(n.ex.Cost.ExchangeRow)
+	n.held = nil
 	n.charge(n.ex, n.ex.Cost.ExchangeSetup)
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 	n.ch = make(chan rowMsg, n.dop*exchangeBuffer)
@@ -189,7 +197,11 @@ func (n *gatherNode) Open() error {
 				n.meters[i].drain(n.ex.Meter)
 				n.ex.workerEvent(trace.WorkerDrain, "gather", i, n.dop, n.clones[i].Stats().RowsOut, work)
 			}()
-			runPartition(n.ctx, n.clones[i], n.ch)
+			if n.ex.BatchSize > 0 {
+				runPartitionBatched(n.ctx, n.ex, n.clones[i], n.ch)
+			} else {
+				runPartition(n.ctx, n.clones[i], n.ch)
+			}
 		}(i)
 	}
 	go func() {
@@ -238,6 +250,45 @@ func runPartition(ctx context.Context, clone Node, ch chan<- rowMsg) {
 	}
 }
 
+// runPartitionBatched is runPartition's batch-mode form: it drives the
+// clone through a batch edge and hands each batch to the consumer as a
+// pooled transfer copy (the clone reuses its own buffer immediately, so the
+// transfer must own its rows). Error and cancellation contracts are
+// identical to the row form.
+func runPartitionBatched(ctx context.Context, ex *Executor, clone Node, ch chan<- rowMsg) {
+	err := func() error {
+		if err := clone.Open(); err != nil {
+			return err
+		}
+		edge := ex.batchEdge(clone)
+		for {
+			if ctx.Err() != nil {
+				return nil
+			}
+			b, err := edge.pull(0)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				return nil
+			}
+			tb := cloneForTransfer(b, ex.BatchSize)
+			select {
+			case ch <- rowMsg{batch: tb}:
+			case <-ctx.Done():
+				putBatch(tb)
+				return nil
+			}
+		}
+	}()
+	if cerr := clone.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		ch <- rowMsg{err: err}
+	}
+}
+
 func (n *gatherNode) Next() (schema.Row, bool, error) {
 	msg, ok := <-n.ch
 	if !ok {
@@ -254,6 +305,33 @@ func (n *gatherNode) Next() (schema.Row, bool, error) {
 	n.charge(n.ex, n.ex.Cost.ExchangeRow)
 	n.stats.RowsOut++
 	return msg.row, true, nil
+}
+
+// NextBatch surfaces worker transfer batches in arrival order, charging
+// ExchangeRow per logical row. max is advisory — a transfer batch arrives
+// sized by its producing worker; an enclosing CHECK handles oversized
+// batches through its crossing logic. The previously delivered batch is
+// recycled to the pool, which is safe because the consumer's pull is the
+// end of that batch's validity window.
+func (n *gatherNode) NextBatch(max int) (*Batch, error) {
+	if n.held != nil {
+		putBatch(n.held)
+		n.held = nil
+	}
+	msg, ok := <-n.ch
+	if !ok {
+		n.stats.Done = true
+		return nil, nil
+	}
+	if msg.err != nil {
+		n.surfaced = true
+		n.abort()
+		return nil, msg.err
+	}
+	n.chargeTicks(n.ex, n.exRowT, msg.batch.Len())
+	n.stats.RowsOut += float64(msg.batch.Len())
+	n.held = msg.batch
+	return msg.batch, nil
 }
 
 // abort cancels outstanding workers and drains the channel until the closer
@@ -285,6 +363,10 @@ func (n *gatherNode) Close() error {
 		return n.closeChildren()
 	}
 	n.abort() // workers close their own clones
+	if n.held != nil {
+		putBatch(n.held)
+		n.held = nil
+	}
 	if n.surfaced {
 		return nil // the error already reached the consumer via Next
 	}
@@ -337,6 +419,9 @@ type parallelHSJNNode struct {
 	probes   bool // probe workers launched (ch live)
 	surfaced bool // an error was already returned from Next
 	drainErr error
+
+	held   *Batch // last delivered transfer batch, recycled on the next pull
+	exRowT int64  // pre-scaled per-row exchange charge
 }
 
 func (e *Executor) buildParallelHSJN(gp, jp *optimizer.Plan) (Node, error) {
@@ -369,12 +454,13 @@ func (e *Executor) buildParallelHSJN(gp, jp *optimizer.Plan) (Node, error) {
 	return n, nil
 }
 
-// addAnalyzeWork folds one worker's accumulated loop work into the node's
+// addAnalyzeTicks folds one worker's accumulated loop work into the node's
 // atomic tick counter (fixed-point, so cross-worker summation order cannot
-// perturb the total).
-func (n *parallelHSJNNode) addAnalyzeWork(w float64) {
-	if w > 0 {
-		n.analyzeTicks.Add(int64(math.Round(w * meterTick)))
+// perturb the total). Workers accumulate pre-scaled ticks in both row and
+// batch mode, so the attributed Work is bit-identical across modes.
+func (n *parallelHSJNNode) addAnalyzeTicks(t int64) {
+	if t > 0 {
+		n.analyzeTicks.Add(t)
 	}
 }
 
@@ -394,6 +480,8 @@ func (n *parallelHSJNNode) BuildMaterialized() ([]schema.Row, int, bool) {
 func (n *parallelHSJNNode) Open() error {
 	n.stats = NodeStats{Opened: true}
 	pr := &n.ex.Cost
+	n.exRowT = Ticks(pr.ExchangeRow)
+	n.held = nil
 	// One setup charge per exchange in the plan fragment: the gather plus
 	// the two repartitions.
 	n.charge(n.ex, 3*pr.ExchangeSetup)
@@ -504,16 +592,50 @@ func (n *parallelHSJNNode) Open() error {
 }
 
 // runBuildWorker drains one build stripe, retaining rows and routing keyed
-// rows into partition buffers. On error it cancels sibling workers.
+// rows into partition buffers. On error it cancels sibling workers. In
+// batch mode the stripe is drained batch-at-a-time: each batch's rows are
+// retained (cloned when ephemeral) and then routed, with one meter
+// operation per batch.
 func (n *parallelHSJNNode) runBuildWorker(w int, bufs [][]buildEntry, all *[]schema.Row) error {
 	clone := n.buildClones[w]
 	pr := &n.ex.Cost
 	meter := n.buildMeters[w]
-	var aw float64 // loop work attributed to the join node in analyze mode
-	defer func() { n.addAnalyzeWork(aw) }()
+	rowT := Ticks(pr.ExchangeRow + pr.HashBuildRow)
+	var awT int64 // loop ticks attributed to the join node in analyze mode
+	defer func() { n.addAnalyzeTicks(awT) }()
+	route := func(rows []schema.Row) {
+		for _, row := range rows {
+			if h, keyed := hashKeyAt(row, n.buildKeys); keyed {
+				p := int(h % uint64(n.dop))
+				bufs[p] = append(bufs[p], buildEntry{row: row, hash: h})
+			}
+		}
+	}
 	err := func() error {
 		if err := clone.Open(); err != nil {
 			return err
+		}
+		if n.ex.BatchSize > 0 {
+			edge := n.ex.batchEdge(clone)
+			for {
+				if n.ctx.Err() != nil {
+					return nil
+				}
+				b, err := edge.pull(0)
+				if err != nil {
+					return err
+				}
+				if b == nil {
+					return nil
+				}
+				meter.AddTicks(rowT * int64(b.Len()))
+				if n.ex.Analyze {
+					awT += rowT * int64(b.Len())
+				}
+				start := len(*all)
+				*all = appendBatchRows(*all, b)
+				route((*all)[start:])
+			}
 		}
 		for {
 			if n.ctx.Err() != nil {
@@ -526,15 +648,12 @@ func (n *parallelHSJNNode) runBuildWorker(w int, bufs [][]buildEntry, all *[]sch
 			if !ok {
 				return nil
 			}
-			meter.Add(pr.ExchangeRow + pr.HashBuildRow)
+			meter.AddTicks(rowT)
 			if n.ex.Analyze {
-				aw += pr.ExchangeRow + pr.HashBuildRow
+				awT += rowT
 			}
 			*all = append(*all, row)
-			if h, keyed := hashKeyAt(row, n.buildKeys); keyed {
-				p := int(h % uint64(n.dop))
-				bufs[p] = append(bufs[p], buildEntry{row: row, hash: h})
-			}
+			route((*all)[len(*all)-1:])
 		}
 	}()
 	if cerr := clone.Close(); err == nil {
@@ -559,11 +678,16 @@ func (n *parallelHSJNNode) runProbeWorker(w int) {
 	clone := n.probeClones[w]
 	pr := &n.ex.Cost
 	meter := n.probeMeters[w]
-	var aw float64
-	defer func() { n.addAnalyzeWork(aw) }()
+	probeT := Ticks(pr.ExchangeRow + pr.HashProbeRow + n.spillExtra)
+	outT := Ticks(pr.OutputRow)
+	var awT int64 // loop ticks attributed to the join node in analyze mode
+	defer func() { n.addAnalyzeTicks(awT) }()
 	err := func() error {
 		if err := clone.Open(); err != nil {
 			return err
+		}
+		if n.ex.BatchSize > 0 {
+			return n.runProbeWorkerBatched(clone, meter, probeT, outT, &awT)
 		}
 		for {
 			if n.ctx.Err() != nil {
@@ -576,9 +700,9 @@ func (n *parallelHSJNNode) runProbeWorker(w int) {
 			if !ok {
 				return nil
 			}
-			meter.Add(pr.ExchangeRow + pr.HashProbeRow + n.spillExtra)
+			meter.AddTicks(probeT)
 			if n.ex.Analyze {
-				aw += pr.ExchangeRow + pr.HashProbeRow + n.spillExtra
+				awT += probeT
 			}
 			h, keyed := hashKeyAt(row, n.probeKeys)
 			if !keyed {
@@ -596,9 +720,9 @@ func (n *parallelHSJNNode) runProbeWorker(w int) {
 				if !keep {
 					continue
 				}
-				meter.Add(pr.OutputRow)
+				meter.AddTicks(outT)
 				if n.ex.Analyze {
-					aw += pr.OutputRow
+					awT += outT
 				}
 				select {
 				case n.ch <- rowMsg{row: joined}:
@@ -622,6 +746,91 @@ func (n *parallelHSJNNode) runProbeWorker(w int) {
 	}
 }
 
+// runProbeWorkerBatched is the probe loop's batch-mode form: it pulls probe
+// batches through a batch edge, carves joined rows into pooled transfer
+// batches (flushed to the consumer at BatchSize), and issues one meter
+// operation per probe batch plus one per batch of emitted rows — the exact
+// tick totals of the row loop.
+func (n *parallelHSJNNode) runProbeWorkerBatched(clone Node, meter *Meter, probeT, outT int64, awT *int64) error {
+	edge := n.ex.batchEdge(clone)
+	out := getBatch(n.ex.BatchSize)
+	defer func() {
+		if out != nil {
+			putBatch(out)
+		}
+	}()
+	// flush hands the accumulated transfer batch to the consumer; it reports
+	// false when cancellation won the race, which ends the loop quietly.
+	flush := func() bool {
+		if out.Len() == 0 {
+			return true
+		}
+		select {
+		case n.ch <- rowMsg{batch: out}:
+			out = getBatch(n.ex.BatchSize)
+			return true
+		case <-n.ctx.Done():
+			return false
+		}
+	}
+	for {
+		if n.ctx.Err() != nil {
+			return nil
+		}
+		b, err := edge.pull(0)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			flush()
+			return nil
+		}
+		meter.AddTicks(probeT * int64(b.Len()))
+		if n.ex.Analyze {
+			*awT += probeT * int64(b.Len())
+		}
+		emitted := 0
+		charge := func() {
+			meter.AddTicks(outT * int64(emitted))
+			if n.ex.Analyze {
+				*awT += outT * int64(emitted)
+			}
+		}
+		for _, row := range b.Rows {
+			h, keyed := hashKeyAt(row, n.probeKeys)
+			if !keyed {
+				continue
+			}
+			for _, br := range n.parts[h%uint64(n.dop)][h] {
+				if !keysEqual(row, n.probeKeys, br, n.buildKeys) {
+					continue
+				}
+				joined := out.Alloc(len(row) + len(br))
+				copy(joined, row)
+				copy(joined[len(row):], br)
+				keep, ferr := evalFilter(n.filter, n.ex.ectx, joined)
+				if ferr != nil {
+					out.dropLast(len(row) + len(br))
+					charge()
+					return ferr
+				}
+				if !keep {
+					out.dropLast(len(row) + len(br))
+					continue
+				}
+				emitted++
+				if out.Len() >= n.ex.BatchSize {
+					if !flush() {
+						charge()
+						return nil
+					}
+				}
+			}
+		}
+		charge()
+	}
+}
+
 func (n *parallelHSJNNode) Next() (schema.Row, bool, error) {
 	msg, ok := <-n.ch
 	if !ok {
@@ -636,6 +845,31 @@ func (n *parallelHSJNNode) Next() (schema.Row, bool, error) {
 	n.charge(n.ex, n.ex.Cost.ExchangeRow)
 	n.stats.RowsOut++
 	return msg.row, true, nil
+}
+
+// NextBatch surfaces probe-worker transfer batches in arrival order,
+// charging ExchangeRow per logical row. max is advisory, exactly as for
+// gatherNode.NextBatch; the previously delivered batch is recycled on the
+// next pull.
+func (n *parallelHSJNNode) NextBatch(max int) (*Batch, error) {
+	if n.held != nil {
+		putBatch(n.held)
+		n.held = nil
+	}
+	msg, ok := <-n.ch
+	if !ok {
+		n.stats.Done = true
+		return nil, nil
+	}
+	if msg.err != nil {
+		n.surfaced = true
+		n.abort()
+		return nil, msg.err
+	}
+	n.chargeTicks(n.ex, n.exRowT, msg.batch.Len())
+	n.stats.RowsOut += float64(msg.batch.Len())
+	n.held = msg.batch
+	return msg.batch, nil
 }
 
 // abort mirrors gatherNode.abort, retaining the first genuine probe-worker
@@ -678,6 +912,10 @@ func (n *parallelHSJNNode) Close() error {
 		return closeAll(n.buildClones)
 	}
 	n.abort() // build workers already closed their clones; probe workers close theirs on exit
+	if n.held != nil {
+		putBatch(n.held)
+		n.held = nil
+	}
 	if !n.probes {
 		// Open failed during the build phase: the probe workers never
 		// launched, so their clones are closed here.

@@ -43,10 +43,27 @@ type Meter struct {
 	ticks atomic.Int64
 }
 
+// Ticks converts a work-unit amount into integer meter ticks, applying the
+// meter's fixed-point rounding exactly once. Batch operators pre-scale
+// their per-row charge with it: k rows charged as perRowTicks*k equal
+// exactly k row-at-a-time Add calls of the same amount, which is the basis
+// of the cross-mode bit-identity tests.
+func Ticks(w float64) int64 {
+	return int64(math.Round(w * meterTick))
+}
+
 // Add charges work units.
 func (m *Meter) Add(w float64) {
 	if m != nil && w != 0 {
-		m.ticks.Add(int64(math.Round(w * meterTick)))
+		m.ticks.Add(Ticks(w))
+	}
+}
+
+// AddTicks charges pre-scaled integer ticks (see Ticks) — the batch path's
+// one-meter-operation-per-batch charge.
+func (m *Meter) AddTicks(t int64) {
+	if m != nil && t != 0 {
+		m.ticks.Add(t)
 	}
 }
 
@@ -168,6 +185,13 @@ type Executor struct {
 	// exchange worker lifecycles) when non-nil. Emission sites are guarded
 	// by a nil check, so the disabled path constructs no events.
 	Trace trace.Recorder
+
+	// BatchSize enables batch-at-a-time execution: operators with a native
+	// NextBatch move rows in batches of this many rows, and materializing
+	// operators drain their inputs batch-wise. 0 (the default) keeps pure
+	// row-at-a-time Volcano execution. The tree must be driven by RunWith
+	// with the same size. Work totals are bit-identical across sizes.
+	BatchSize int
 
 	tabs   []*catalog.Table
 	ectx   *expr.Context
@@ -396,9 +420,24 @@ func (b *base) Children() []Node      { return b.children }
 // activity. Each node instance is driven by exactly one goroutine (partition
 // clones are distinct instances), so the attribution needs no atomics.
 func (b *base) charge(e *Executor, w float64) {
-	e.Meter.Add(w)
+	b.chargeTicks(e, Ticks(w), 1)
+}
+
+// chargeTicks charges k logical rows of perRow pre-scaled ticks in one
+// meter operation — the batched form of charge, and the single path both
+// modes fund the meter and the analyze attribution through. Attributing the
+// quantized tick value (not the raw float) makes per-node Work exact and
+// bit-identical between row and batch execution: every attributed amount is
+// a multiple of 2^-20, so float64 accumulation is lossless at the work
+// magnitudes the engine produces.
+func (b *base) chargeTicks(e *Executor, perRow int64, k int) {
+	if k <= 0 {
+		return
+	}
+	t := perRow * int64(k)
+	e.Meter.AddTicks(t)
 	if e.Analyze {
-		b.stats.Work += w
+		b.stats.Work += float64(t) / meterTick
 		now := time.Now().UnixNano() //poplint:allow determinism analyze-mode wall spans are diagnostic; simulated work stays bit-identical
 		if b.stats.WallFirstNS == 0 {
 			b.stats.WallFirstNS = now

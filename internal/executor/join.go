@@ -2,12 +2,12 @@ package executor
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"repro/internal/expr"
 	"repro/internal/optimizer"
 	"repro/internal/schema"
 	"repro/internal/storage"
+	"repro/internal/types"
 )
 
 // nljnNode implements both naive and index nested-loop joins. The naive
@@ -212,8 +212,22 @@ type hsjnNode struct {
 
 	table      map[uint64][]schema.Row
 	spillExtra float64 // extra work charged per probe row
-	curMatches []schema.Row
-	curProbe   schema.Row
+	// curBucket/curIdx cursor over the current probe row's hash bucket:
+	// match candidates are key-checked lazily at emission, so no per-probe
+	// match slice is ever built.
+	curBucket []schema.Row
+	curIdx    int
+	curProbe  schema.Row
+
+	// Batch-mode state: the probe edge, the reusable output batch, a held
+	// input batch with its cursor, and the pre-scaled per-row charges.
+	probeEdge *batchEdge
+	out       *Batch
+	inBatch   *Batch
+	inPos     int
+	probeT    int64
+	outT      int64
+	width     int // joined-row width (probe + build columns)
 
 	// buildRows retains the complete build input (including NULL-keyed rows
 	// the hash table drops) so the build can be promoted to a temp MV — the
@@ -284,14 +298,14 @@ func equiKeyPositions(p *optimizer.Plan) (probeKeys, buildKeys []int, err error)
 }
 
 func hashKeyAt(row schema.Row, keys []int) (uint64, bool) {
-	h := fnv.New64a()
+	h := types.HashSeed
 	for _, k := range keys {
 		if row[k].IsNull() {
 			return 0, false
 		}
-		row[k].HashInto(h)
+		h = row[k].HashFold(h)
 	}
-	return h.Sum64(), true
+	return h, true
 }
 
 func keysEqual(a schema.Row, aKeys []int, b schema.Row, bKeys []int) bool {
@@ -306,28 +320,44 @@ func keysEqual(a schema.Row, aKeys []int, b schema.Row, bKeys []int) bool {
 
 func (n *hsjnNode) Open() error {
 	n.stats = NodeStats{Opened: true}
-	n.table = make(map[uint64][]schema.Row)
-	n.curMatches = nil
+	n.curBucket, n.curIdx = nil, 0
 	n.buildRows = n.buildRows[:0]
 	n.buildDone = false
 	pr := &n.ex.Cost
 	if err := n.build.Open(); err != nil {
 		return err
 	}
-	buildRows := 0.0
-	for {
-		row, ok, err := n.build.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		buildRows++
-		n.charge(n.ex, pr.HashBuildRow)
-		n.buildRows = append(n.buildRows, row)
+	var err error
+	n.buildRows, err = n.drainMaterialize(n.ex, n.build, n.buildRows, pr.HashBuildRow)
+	if err != nil {
+		return err
+	}
+	// Two-pass arena build: count each bucket, carve all buckets out of one
+	// backing slice, then fill. Appends never grow, so the table costs two
+	// map allocations and one arena instead of a slice per distinct key.
+	// Per-bucket insertion order is the build input order, same as a direct
+	// append-per-row build.
+	counts := make(map[uint64]int, len(n.buildRows))
+	keyed := 0
+	for _, row := range n.buildRows {
 		if h, ok := hashKeyAt(row, n.buildKeys); ok {
-			n.table[h] = append(n.table[h], row)
+			counts[h]++
+			keyed++
+		}
+	}
+	arena := make([]schema.Row, keyed)
+	n.table = make(map[uint64][]schema.Row, len(counts))
+	pos := 0
+	buildRows := float64(len(n.buildRows))
+	for _, row := range n.buildRows {
+		if h, ok := hashKeyAt(row, n.buildKeys); ok {
+			b, seen := n.table[h]
+			if !seen {
+				c := counts[h]
+				b = arena[pos : pos : pos+c]
+				pos += c
+			}
+			n.table[h] = append(b, row)
 		}
 	}
 	n.buildDone = true
@@ -344,15 +374,104 @@ func (n *hsjnNode) Open() error {
 		n.spillExtra = (stages - 1) * pr.SpillRow
 		n.stats.Spilled = true
 	}
+	// Pre-scale the per-row charges once per Open: spillExtra is folded into
+	// the probe charge exactly as the row path passes it to a single Add.
+	n.probeT = Ticks(pr.HashProbeRow + n.spillExtra)
+	n.outT = Ticks(pr.OutputRow)
+	if n.ex.BatchSize > 0 {
+		n.probeEdge = n.ex.batchEdge(n.probe)
+		if n.out == nil {
+			n.out = NewBatch(n.ex.BatchSize)
+		}
+		n.inBatch = nil
+		n.inPos = 0
+	}
 	return n.probe.Open()
+}
+
+// NextBatch probes the hash table with input pulled batch-at-a-time,
+// carving joined rows from the output slab. The pull size is bounded by the
+// remaining output need, so an eager CHECK above the join can bound how far
+// the probe runs past its validity range. Probe rows charge HashProbeRow
+// (+spill surcharge) and emitted rows OutputRow, each pre-scaled and
+// batch-aggregated to the exact tick totals of the row path.
+func (n *hsjnNode) NextBatch(max int) (*Batch, error) {
+	b := n.out
+	b.Reset()
+	if max <= 0 || max > cap(b.Rows) {
+		max = cap(b.Rows)
+	}
+	consumed := 0 // probe rows consumed during this call
+	flush := func() {
+		n.chargeTicks(n.ex, n.probeT, consumed)
+		n.chargeTicks(n.ex, n.outT, b.Len())
+	}
+	for b.Len() < max {
+		// Emit pending matches for the current probe row, key-checking each
+		// bucket candidate lazily.
+		for n.curIdx < len(n.curBucket) && b.Len() < max {
+			m := n.curBucket[n.curIdx]
+			n.curIdx++
+			if !keysEqual(n.curProbe, n.probeKeys, m, n.buildKeys) {
+				continue
+			}
+			out := b.Alloc(len(n.curProbe) + len(m))
+			copy(out, n.curProbe)
+			copy(out[len(n.curProbe):], m)
+			keep, ferr := evalFilter(n.filter, n.ex.ectx, out)
+			if ferr != nil {
+				b.dropLast(len(out)) // not an output row: the row path charges no OutputRow for it
+				flush()
+				return nil, ferr
+			}
+			if !keep {
+				b.dropLast(len(out))
+			}
+		}
+		if n.curIdx < len(n.curBucket) {
+			break // batch full mid-bucket; curProbe stays valid until the next pull
+		}
+		if n.inBatch == nil || n.inPos >= n.inBatch.Len() {
+			nb, err := n.probeEdge.pull(max - b.Len())
+			if err != nil {
+				flush()
+				return nil, err
+			}
+			if nb == nil {
+				n.inBatch = nil
+				n.stats.Done = true
+				break
+			}
+			n.inBatch = nb
+			n.inPos = 0
+		}
+		row := n.inBatch.Rows[n.inPos]
+		n.inPos++
+		consumed++
+		h, hasKey := hashKeyAt(row, n.probeKeys)
+		if !hasKey {
+			continue
+		}
+		n.curProbe = row
+		n.curBucket, n.curIdx = n.table[h], 0
+	}
+	flush()
+	n.stats.RowsOut += float64(b.Len())
+	if b.Len() == 0 {
+		return nil, nil
+	}
+	return b, nil
 }
 
 func (n *hsjnNode) Next() (schema.Row, bool, error) {
 	pr := &n.ex.Cost
 	for {
-		for len(n.curMatches) > 0 {
-			m := n.curMatches[0]
-			n.curMatches = n.curMatches[1:]
+		for n.curIdx < len(n.curBucket) {
+			m := n.curBucket[n.curIdx]
+			n.curIdx++
+			if !keysEqual(n.curProbe, n.probeKeys, m, n.buildKeys) {
+				continue
+			}
 			joined := n.curProbe.Concat(m)
 			keep, err := evalFilter(n.filter, n.ex.ectx, joined)
 			if err != nil {
@@ -378,11 +497,7 @@ func (n *hsjnNode) Next() (schema.Row, bool, error) {
 			continue
 		}
 		n.curProbe = row
-		for _, b := range n.table[h] {
-			if keysEqual(row, n.probeKeys, b, n.buildKeys) {
-				n.curMatches = append(n.curMatches, b)
-			}
-		}
+		n.curBucket, n.curIdx = n.table[h], 0
 	}
 }
 

@@ -27,6 +27,9 @@ type tableScanNode struct {
 	npreds float64
 	it     *storage.TableIterator
 
+	out      *Batch // reusable output batch (batch mode)
+	rowTicks int64  // pre-scaled per-scanned-row charge
+
 	part, parts int // morsel stripe (parts == 0 → whole heap)
 }
 
@@ -56,6 +59,10 @@ func (n *tableScanNode) Open() error {
 		n.it = n.heap.Scan()
 	}
 	n.stats = NodeStats{Opened: true}
+	n.rowTicks = Ticks(n.ex.Cost.ScanRow + n.npreds*n.ex.Cost.PredEval)
+	if n.ex.BatchSize > 0 && n.out == nil {
+		n.out = NewBatch(n.ex.BatchSize)
+	}
 	return nil
 }
 
@@ -85,6 +92,41 @@ func (n *tableScanNode) Next() (schema.Row, bool, error) {
 	}
 }
 
+// NextBatch scans rows into a reusable batch of heap-row references (heap
+// rows are stable, so the batch is not ephemeral). Every scanned row —
+// kept or filtered out — charges exactly the row path's per-row amount, in
+// a single meter operation per batch.
+func (n *tableScanNode) NextBatch(max int) (*Batch, error) {
+	b := n.out
+	b.Reset()
+	if max <= 0 || max > cap(b.Rows) {
+		max = cap(b.Rows)
+	}
+	scanned := 0
+	for b.Len() < max {
+		row, _, ok := n.it.Next()
+		if !ok {
+			n.stats.Done = true
+			break
+		}
+		scanned++
+		keep, err := evalFilter(n.filter, n.ex.ectx, row)
+		if err != nil {
+			n.chargeTicks(n.ex, n.rowTicks, scanned)
+			return nil, err
+		}
+		if keep {
+			b.Append(row)
+		}
+	}
+	n.chargeTicks(n.ex, n.rowTicks, scanned)
+	n.stats.RowsOut += float64(b.Len())
+	if b.Len() == 0 {
+		return nil, nil
+	}
+	return b, nil
+}
+
 func (n *tableScanNode) Close() error { return nil }
 
 // indexScanNode performs a sargable B+tree range scan: it collects the
@@ -98,6 +140,9 @@ type indexScanNode struct {
 	npreds float64
 	rids   []schema.RID
 	pos    int
+
+	out      *Batch // reusable output batch (batch mode)
+	rowTicks int64  // pre-scaled per-fetched-row charge
 
 	part, parts int // morsel stripe over the qualifying rids (parts == 0 → all)
 }
@@ -166,6 +211,10 @@ func (n *indexScanNode) Open() error {
 		n.rids = append(n.rids, rid)
 		return true
 	})
+	n.rowTicks = Ticks(pr.FetchRow + n.npreds*pr.PredEval)
+	if n.ex.BatchSize > 0 && n.out == nil {
+		n.out = NewBatch(n.ex.BatchSize)
+	}
 	return nil
 }
 
@@ -196,6 +245,46 @@ func (n *indexScanNode) Next() (schema.Row, bool, error) {
 	}
 	n.stats.Done = true
 	return nil, false, nil
+}
+
+// NextBatch fetches qualifying rids into a reusable batch of stable heap
+// rows, charging the row path's per-fetch amount once per batch. A fetch
+// error is surfaced after charging the rows fetched so far, exactly like
+// the row path (which charges after each successful Get).
+func (n *indexScanNode) NextBatch(max int) (*Batch, error) {
+	b := n.out
+	b.Reset()
+	if max <= 0 || max > cap(b.Rows) {
+		max = cap(b.Rows)
+	}
+	fetched := 0
+	for b.Len() < max && n.pos < len(n.rids) {
+		rid := n.rids[n.pos]
+		n.pos += n.step()
+		row, err := n.ix.Table().Get(rid)
+		if err != nil {
+			n.chargeTicks(n.ex, n.rowTicks, fetched)
+			return nil, err
+		}
+		fetched++
+		keep, err := evalFilter(n.filter, n.ex.ectx, row)
+		if err != nil {
+			n.chargeTicks(n.ex, n.rowTicks, fetched)
+			return nil, err
+		}
+		if keep {
+			b.Append(row)
+		}
+	}
+	n.chargeTicks(n.ex, n.rowTicks, fetched)
+	if n.pos >= len(n.rids) {
+		n.stats.Done = true
+	}
+	n.stats.RowsOut += float64(b.Len())
+	if b.Len() == 0 {
+		return nil, nil
+	}
+	return b, nil
 }
 
 func (n *indexScanNode) Close() error { return nil }

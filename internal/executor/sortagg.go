@@ -2,7 +2,6 @@ package executor
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 
@@ -73,6 +72,40 @@ func compareRows(a, b schema.Row, keys []int, desc []bool) int {
 	return 0
 }
 
+// drainMaterialize absorbs a materializing operator's entire input into
+// dst, charging perRow work units for every row. In batch mode the child
+// subtree runs its batch path and each absorbed batch costs one meter
+// operation and O(1) copy allocations; the row path is charge-for-charge
+// identical.
+func (b *base) drainMaterialize(e *Executor, child Node, dst []schema.Row, perRow float64) ([]schema.Row, error) {
+	if e.BatchSize > 0 {
+		edge := e.batchEdge(child)
+		t := Ticks(perRow)
+		for {
+			nb, err := edge.pull(0)
+			if err != nil {
+				return dst, err
+			}
+			if nb == nil {
+				return dst, nil
+			}
+			dst = appendBatchRows(dst, nb)
+			b.chargeTicks(e, t, nb.Len())
+		}
+	}
+	for {
+		row, ok, err := child.Next()
+		if err != nil {
+			return dst, err
+		}
+		if !ok {
+			return dst, nil
+		}
+		b.charge(e, perRow)
+		dst = append(dst, row)
+	}
+}
+
 func (n *sortNode) Open() error {
 	n.stats = NodeStats{Opened: true}
 	n.rows = n.rows[:0]
@@ -83,16 +116,10 @@ func (n *sortNode) Open() error {
 		return err
 	}
 	pr := &n.ex.Cost
-	for {
-		row, ok, err := child.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		n.charge(n.ex, pr.TempWrite)
-		n.rows = append(n.rows, row)
+	var err error
+	n.rows, err = n.drainMaterialize(n.ex, child, n.rows, pr.TempWrite)
+	if err != nil {
+		return err
 	}
 	cn := float64(len(n.rows))
 	n.charge(n.ex, cn*math.Log2(cn+2)*pr.SortCmpRow)
@@ -154,17 +181,10 @@ func (n *tempNode) Open() error {
 	if err := child.Open(); err != nil {
 		return err
 	}
-	pr := &n.ex.Cost
-	for {
-		row, ok, err := child.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		n.charge(n.ex, pr.TempWrite)
-		n.rows = append(n.rows, row)
+	var err error
+	n.rows, err = n.drainMaterialize(n.ex, child, n.rows, n.ex.Cost.TempWrite)
+	if err != nil {
+		return err
 	}
 	n.done = true
 	return nil
@@ -267,6 +287,7 @@ type hashAggNode struct {
 	itemExpr []expr.Expr // remapped to child layout; nil for COUNT(*)
 	groups   []schema.Row
 	pos      int
+	out      *Batch // reusable output batch (batch mode)
 }
 
 func (e *Executor) buildHashAgg(p *optimizer.Plan) (Node, error) {
@@ -300,6 +321,72 @@ func (e *Executor) buildHashAgg(p *optimizer.Plan) (Node, error) {
 	return n, nil
 }
 
+// aggGroup is one grouping key's accumulator set.
+type aggGroup struct {
+	key    schema.Row
+	states []*aggState
+}
+
+// aggBuilder holds the grouping hash table while an aggregation drains its
+// input; emission order is first-encounter order, independent of hash
+// values and batch boundaries.
+type aggBuilder struct {
+	n     *hashAggNode
+	table map[uint64][]*aggGroup
+	order []*aggGroup
+}
+
+// absorb folds one input row into its group. The row is only read — key
+// datums are copied into the group key — so ephemeral batch rows are safe
+// to absorb without cloning.
+func (a *aggBuilder) absorb(row schema.Row) error {
+	n := a.n
+	hv := types.HashSeed
+	for _, k := range n.keys {
+		hv = row[k].HashFold(hv)
+	}
+	var g *aggGroup
+	for _, cand := range a.table[hv] {
+		match := true
+		for i, k := range n.keys {
+			if !cand.key[i].Equal(row[k]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			g = cand
+			break
+		}
+	}
+	if g == nil {
+		key := make(schema.Row, len(n.keys))
+		for i, k := range n.keys {
+			key[i] = row[k]
+		}
+		g = &aggGroup{key: key, states: make([]*aggState, len(n.items))}
+		for i, it := range n.items {
+			g.states[i] = &aggState{kind: it.Agg}
+		}
+		a.table[hv] = append(a.table[hv], g)
+		a.order = append(a.order, g)
+	}
+	for i, st := range g.states {
+		var v types.Datum
+		if n.itemExpr[i] == nil {
+			v = types.NewInt(1) // COUNT(*)
+		} else {
+			var err error
+			v, err = n.itemExpr[i].Eval(n.ex.ectx, row)
+			if err != nil {
+				return err
+			}
+		}
+		st.add(v)
+	}
+	return nil
+}
+
 func (n *hashAggNode) Open() error {
 	n.stats = NodeStats{Opened: true}
 	n.groups = n.groups[:0]
@@ -309,76 +396,53 @@ func (n *hashAggNode) Open() error {
 		return err
 	}
 	pr := &n.ex.Cost
-	type group struct {
-		key    schema.Row
-		states []*aggState
-	}
-	table := make(map[uint64][]*group)
-	var order []*group
-	for {
-		row, ok, err := child.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		n.charge(n.ex, pr.HashBuildRow)
-		h := fnv.New64a()
-		for _, k := range n.keys {
-			row[k].HashInto(h)
-		}
-		hv := h.Sum64()
-		var g *group
-		for _, cand := range table[hv] {
-			match := true
-			for i, k := range n.keys {
-				if !cand.key[i].Equal(row[k]) {
-					match = false
-					break
-				}
+	a := &aggBuilder{n: n, table: make(map[uint64][]*aggGroup)}
+	if n.ex.BatchSize > 0 {
+		edge := n.ex.batchEdge(child)
+		t := Ticks(pr.HashBuildRow)
+		for {
+			b, err := edge.pull(0)
+			if err != nil {
+				return err
 			}
-			if match {
-				g = cand
+			if b == nil {
 				break
 			}
-		}
-		if g == nil {
-			key := make(schema.Row, len(n.keys))
-			for i, k := range n.keys {
-				key[i] = row[k]
-			}
-			g = &group{key: key, states: make([]*aggState, len(n.items))}
-			for i, it := range n.items {
-				g.states[i] = &aggState{kind: it.Agg}
-			}
-			table[hv] = append(table[hv], g)
-			order = append(order, g)
-		}
-		for i, st := range g.states {
-			var v types.Datum
-			if n.itemExpr[i] == nil {
-				v = types.NewInt(1) // COUNT(*)
-			} else {
-				var err error
-				v, err = n.itemExpr[i].Eval(n.ex.ectx, row)
-				if err != nil {
+			absorbed := 0
+			for _, row := range b.Rows {
+				absorbed++
+				if err := a.absorb(row); err != nil {
+					n.chargeTicks(n.ex, t, absorbed)
 					return err
 				}
 			}
-			st.add(v)
+			n.chargeTicks(n.ex, t, absorbed)
+		}
+	} else {
+		for {
+			row, ok, err := child.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			n.charge(n.ex, pr.HashBuildRow)
+			if err := a.absorb(row); err != nil {
+				return err
+			}
 		}
 	}
 	// Degenerate aggregation without GROUP BY over empty input still yields
 	// one group (COUNT(*) = 0).
-	if len(order) == 0 && len(n.keys) == 0 {
-		g := &group{states: make([]*aggState, len(n.items))}
+	if len(a.order) == 0 && len(n.keys) == 0 {
+		g := &aggGroup{states: make([]*aggState, len(n.items))}
 		for i, it := range n.items {
 			g.states[i] = &aggState{kind: it.Agg}
 		}
-		order = append(order, g)
+		a.order = append(a.order, g)
 	}
-	for _, g := range order {
+	for _, g := range a.order {
 		n.charge(n.ex, pr.OutputRow)
 		out := make(schema.Row, len(n.items))
 		for i, st := range g.states {
@@ -387,6 +451,31 @@ func (n *hashAggNode) Open() error {
 		n.groups = append(n.groups, out)
 	}
 	return nil
+}
+
+// NextBatch streams the finalized groups, which are stable rows owned by
+// the node, in the same first-encounter order as Next. All charging
+// happened at Open (HashBuildRow per input row, OutputRow per group), same
+// as the row path.
+func (n *hashAggNode) NextBatch(max int) (*Batch, error) {
+	if n.pos >= len(n.groups) {
+		n.stats.Done = true
+		return nil, nil
+	}
+	if n.out == nil {
+		n.out = NewBatch(n.ex.BatchSize)
+	}
+	b := n.out
+	b.Reset()
+	if max <= 0 || max > cap(b.Rows) {
+		max = cap(b.Rows)
+	}
+	for b.Len() < max && n.pos < len(n.groups) {
+		b.Append(n.groups[n.pos])
+		n.pos++
+	}
+	n.stats.RowsOut += float64(b.Len())
+	return b, nil
 }
 
 func (n *hashAggNode) Rewind() error {
@@ -418,6 +507,10 @@ type projectNode struct {
 	base
 	ex    *Executor
 	exprs []expr.Expr
+
+	edge     *batchEdge // batch-mode child edge
+	out      *Batch     // reusable output batch (batch mode)
+	outTicks int64      // pre-scaled per-output-row charge
 }
 
 func (e *Executor) buildProject(p *optimizer.Plan) (Node, error) {
@@ -441,6 +534,13 @@ func (e *Executor) buildProject(p *optimizer.Plan) (Node, error) {
 
 func (n *projectNode) Open() error {
 	n.stats = NodeStats{Opened: true}
+	n.outTicks = Ticks(n.ex.Cost.OutputRow)
+	if n.ex.BatchSize > 0 {
+		n.edge = n.ex.batchEdge(n.children[0])
+		if n.out == nil {
+			n.out = NewBatch(n.ex.BatchSize)
+		}
+	}
 	return n.children[0].Open()
 }
 
@@ -461,6 +561,40 @@ func (n *projectNode) Next() (schema.Row, bool, error) {
 	}
 	n.stats.RowsOut++
 	return out, true, nil
+}
+
+// NextBatch evaluates the select items over one input batch, carving output
+// rows from the reusable batch slab — one charge and O(1) allocations per
+// batch instead of one of each per row. An evaluation error is surfaced
+// after charging the rows processed so far (including the failing one),
+// exactly matching the row path's charge-before-eval order.
+func (n *projectNode) NextBatch(max int) (*Batch, error) {
+	in, err := n.edge.pull(max)
+	if err != nil {
+		return nil, err
+	}
+	if in == nil {
+		n.stats.Done = true
+		return nil, nil
+	}
+	b := n.out
+	b.Reset()
+	processed := 0
+	for _, row := range in.Rows {
+		processed++
+		out := b.Alloc(len(n.exprs))
+		for i, ex := range n.exprs {
+			v, err := ex.Eval(n.ex.ectx, row)
+			if err != nil {
+				n.chargeTicks(n.ex, n.outTicks, processed)
+				return nil, err
+			}
+			out[i] = v
+		}
+	}
+	n.chargeTicks(n.ex, n.outTicks, processed)
+	n.stats.RowsOut += float64(b.Len())
+	return b, nil
 }
 
 func (n *projectNode) Close() error { return n.closeChildren() }

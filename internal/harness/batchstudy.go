@@ -1,0 +1,178 @@
+package harness
+
+// The batch-execution study quantifies the vectorized hot path
+// (BENCH_batch.json): the same parameterized TPC-H Q10 sweep runs
+// row-at-a-time and batch-at-a-time at several batch sizes and DOPs, and the
+// study compares simulated work (must be bit-identical within each DOP — the
+// correctness half of the tentpole), wall time and heap allocations (the
+// performance half).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/pop"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+// BatchStudySide aggregates one (execution mode × DOP) cell of the study.
+type BatchStudySide struct {
+	Label         string  `json:"label"`
+	BatchSize     int     `json:"batch_size"` // 0 = row-at-a-time
+	DOP           int     `json:"dop"`
+	Executions    int     `json:"executions"`
+	Rows          int     `json:"rows"`
+	ExecWork      float64 `json:"exec_work"` // simulated work units, all runs
+	Reopts        int     `json:"reopts"`
+	WallNS        int64   `json:"wall_ns"`
+	AllocsPerExec float64 `json:"allocs_per_exec"`
+}
+
+// BatchStudyResult is the study output (BENCH_batch.json).
+type BatchStudyResult struct {
+	Query    string `json:"query"`
+	Sweeps   int    `json:"sweeps"`
+	Bindings int    `json:"bindings_per_sweep"`
+
+	Sides []BatchStudySide `json:"sides"`
+
+	// WorkIdentical certifies the vectorization contract: within every DOP,
+	// all batch sizes (including row mode) charged bit-identical work totals,
+	// returned the same row count and re-optimized the same number of times.
+	WorkIdentical bool `json:"work_identical"`
+	// AllocReduction is row-mode allocations per execution divided by the
+	// largest batch size's, at DOP 1.
+	AllocReduction float64 `json:"alloc_reduction"`
+	// WallSpeedup64 / WallSpeedup1024 are row-mode wall time divided by the
+	// batch=64 / batch=1024 wall time, at DOP 1.
+	WallSpeedup64   float64 `json:"wall_speedup_64"`
+	WallSpeedup1024 float64 `json:"wall_speedup_1024"`
+}
+
+// batchStudySide runs the full binding sweep in one mode×DOP cell.
+func batchStudySide(cat *catalog.Catalog, q *logical.Query, sweeps, workers, batchSize int) (BatchStudySide, error) {
+	label := "row"
+	if batchSize > 0 {
+		label = fmt.Sprintf("batch=%d", batchSize)
+	}
+	side := BatchStudySide{Label: label, BatchSize: batchSize, DOP: workers}
+	bindings := planCacheBindings()
+	opts := pop.DefaultOptions()
+	opts.BatchSize = batchSize
+	if workers > 1 {
+		opts.Configure = func(o *optimizer.Optimizer) { o.Model.Params.Workers = workers }
+	}
+	exec := func(qty float64) error {
+		r, err := pop.NewRunner(cat, opts).Run(q, []types.Datum{types.NewFloat(qty)})
+		if err != nil {
+			return fmt.Errorf("batch study (%s dop=%d, qty=%v): %w", label, workers, qty, err)
+		}
+		side.Executions++
+		side.Rows += len(r.Rows)
+		side.ExecWork += r.Work
+		side.Reopts += r.Reopts
+		return nil
+	}
+	// One untimed warm-up binding stabilizes the wall comparison (first-touch
+	// page faults, pool population).
+	warm := side
+	if err := exec(bindings[0]); err != nil {
+		return side, err
+	}
+	side = warm
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for s := 0; s < sweeps; s++ {
+		for _, qty := range bindings {
+			if err := exec(qty); err != nil {
+				return side, err
+			}
+		}
+	}
+	side.WallNS = time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	side.AllocsPerExec = float64(after.Mallocs-before.Mallocs) / float64(side.Executions)
+	return side, nil
+}
+
+// BatchStudy sweeps parameterized Q10 row-at-a-time and at batch sizes
+// {1, 64, 1024}, each at DOP {1, 2, 4}, and reports the work-identity
+// certificate plus the allocation and wall-clock wins.
+func BatchStudy(cat *catalog.Catalog, sweeps int) (*BatchStudyResult, error) {
+	q, err := tpch.Q10Param(cat)
+	if err != nil {
+		return nil, err
+	}
+	res := &BatchStudyResult{
+		Query:    "Q10(l_quantity <= ?0)",
+		Sweeps:   sweeps,
+		Bindings: len(planCacheBindings()),
+	}
+	sizes := []int{0, 1, 64, 1024}
+	dops := []int{1, 2, 4}
+	cells := make(map[[2]int]BatchStudySide)
+	for _, dop := range dops {
+		for _, size := range sizes {
+			side, err := batchStudySide(cat, q, sweeps, dop, size)
+			if err != nil {
+				return nil, err
+			}
+			res.Sides = append(res.Sides, side)
+			cells[[2]int{dop, size}] = side
+		}
+	}
+
+	res.WorkIdentical = true
+	for _, dop := range dops {
+		ref := cells[[2]int{dop, 0}]
+		for _, size := range sizes[1:] {
+			s := cells[[2]int{dop, size}]
+			if s.ExecWork != ref.ExecWork || s.Rows != ref.Rows || s.Reopts != ref.Reopts {
+				res.WorkIdentical = false
+			}
+		}
+	}
+	row := cells[[2]int{1, 0}]
+	if b := cells[[2]int{1, 1024}]; b.AllocsPerExec > 0 {
+		res.AllocReduction = row.AllocsPerExec / b.AllocsPerExec
+	}
+	if b := cells[[2]int{1, 64}]; b.WallNS > 0 {
+		res.WallSpeedup64 = float64(row.WallNS) / float64(b.WallNS)
+	}
+	if b := cells[[2]int{1, 1024}]; b.WallNS > 0 {
+		res.WallSpeedup1024 = float64(row.WallNS) / float64(b.WallNS)
+	}
+	return res, nil
+}
+
+// WriteBatchJSON renders the study as indented JSON.
+func WriteBatchJSON(w io.Writer, r *BatchStudyResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteBatch renders the study as a human-readable table.
+func WriteBatch(w io.Writer, r *BatchStudyResult) {
+	fmt.Fprintf(w, "Batch execution study: %s, %d sweeps × %d bindings\n", r.Query, r.Sweeps, r.Bindings)
+	fmt.Fprintf(w, "%-12s %4s %6s %14s %8s %10s %14s\n",
+		"mode", "dop", "execs", "exec_work", "reopts", "wall_ms", "allocs/exec")
+	for _, s := range r.Sides {
+		fmt.Fprintf(w, "%-12s %4d %6d %14.0f %8d %10.1f %14.0f\n",
+			s.Label, s.DOP, s.Executions, s.ExecWork, s.Reopts,
+			float64(s.WallNS)/1e6, s.AllocsPerExec)
+	}
+	fmt.Fprintf(w, "work identical across modes (per DOP): %v\n", r.WorkIdentical)
+	fmt.Fprintf(w, "DOP-1 allocation reduction at batch=1024: %.2fx\n", r.AllocReduction)
+	fmt.Fprintf(w, "DOP-1 wall speedup: batch=64 %.2fx, batch=1024 %.2fx\n",
+		r.WallSpeedup64, r.WallSpeedup1024)
+}

@@ -10,10 +10,12 @@ import (
 // all interprocedural:
 //
 //  1. Every concrete executor.Node implementation whose Next can produce a
-//     row must reach a Meter.Add from Next or Open (materializing operators
-//     like sort and hash-agg charge their whole input in Open; streaming
-//     ones charge per row in Next). An uncharged row silently deflates the
-//     simulated work the checkpoints compare against.
+//     row must reach a Meter charge (Add or AddTicks) from Next or Open
+//     (materializing operators like sort and hash-agg charge their whole
+//     input in Open; streaming ones charge per row in Next). Likewise every
+//     NextBatch that can produce a batch must reach a charge from NextBatch
+//     or Open. An uncharged row silently deflates the simulated work the
+//     checkpoints compare against.
 //  2. Every function that constructs a CheckViolation must reach a write of
 //     NodeStats.Violated — EXPLAIN ANALYZE's violation flag comes from that
 //     field, and a violation that does not mark its node disappears from
@@ -134,17 +136,16 @@ func checkOperatorCharges(g *CallGraph, nodeIface *types.Interface, report Repor
 			default:
 				continue
 			}
-			next := methodNode(g, recv, "Next")
-			if next == nil || !producesRows(next) {
-				continue // stub or out-of-program body
+			open := methodNode(g, recv, "Open")
+			openCharges := open != nil && chargeReach[open]
+			if next := methodNode(g, recv, "Next"); next != nil && producesRows(next) &&
+				!chargeReach[next] && !openCharges {
+				report(next.Pos, "%s.Next produces rows but no Meter charge is reachable from Next or Open; uncharged rows deflate simulated work", tn.Name())
 			}
-			if chargeReach[next] {
-				continue
+			if nb := methodNode(g, recv, "NextBatch"); nb != nil && producesBatches(nb) &&
+				!chargeReach[nb] && !openCharges {
+				report(nb.Pos, "%s.NextBatch produces rows but no Meter charge is reachable from NextBatch or Open; uncharged rows deflate simulated work", tn.Name())
 			}
-			if open := methodNode(g, recv, "Open"); open != nil && chargeReach[open] {
-				continue // materializing operator: charges its input up front
-			}
-			report(next.Pos, "%s.Next produces rows but no Meter.Add is reachable from Next or Open; uncharged rows deflate simulated work", tn.Name())
 		}
 	}
 }
@@ -163,6 +164,29 @@ func methodNode(g *CallGraph, recv types.Type, name string) *FuncNode {
 // more-rows result is not the literal false — i.e. the operator can hand a
 // row upward. Exchange stubs that only ever return (nil, false, nil) are
 // exempt from the charge obligation.
+// producesBatches reports whether a NextBatch body contains a return whose
+// batch result is not the literal nil — i.e. the operator can hand a batch
+// upward. Stubs that only ever return (nil, err) are exempt from the charge
+// obligation.
+func producesBatches(nb *FuncNode) bool {
+	if nb.Body == nil {
+		return false
+	}
+	produces := false
+	ast.Inspect(nb.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) < 2 {
+			return true
+		}
+		if id, ok := ret.Results[0].(*ast.Ident); ok && id.Name == "nil" {
+			return true
+		}
+		produces = true
+		return true
+	})
+	return produces
+}
+
 func producesRows(next *FuncNode) bool {
 	if next.Body == nil {
 		return false

@@ -454,7 +454,7 @@ func (w *walker) handleMethodCall(fn *FuncNode, call *ast.CallExpr, sel *ast.Sel
 		w.walkExpr(fn, sel.X)
 		return true
 
-	case pkgPath == executorPath && typeName == "Meter" && name == "Add":
+	case pkgPath == executorPath && typeName == "Meter" && (name == "Add" || name == "AddTicks"):
 		fn.Sum.Charges = append(fn.Sum.Charges, call.Pos())
 		w.walkExpr(fn, sel.X)
 		return true

@@ -35,6 +35,32 @@ func (f *freeNode) Plan() *optimizer.Plan      { return nil }
 func (f *freeNode) Stats() *executor.NodeStats { return &f.stats }
 func (f *freeNode) Children() []executor.Node  { return nil }
 
+// freeBatchNode's NextBatch produces batches without ever reaching a Meter
+// charge from NextBatch or Open: a vectorized operator invisible to the
+// simulated-work accounting. Its Next never produces, so only the batch
+// obligation fires.
+type freeBatchNode struct {
+	stats executor.NodeStats
+	out   *executor.Batch
+	n     int
+}
+
+func (f *freeBatchNode) Open() error                     { return nil }
+func (f *freeBatchNode) Next() (schema.Row, bool, error) { return nil, false, nil }
+
+func (f *freeBatchNode) NextBatch(max int) (*executor.Batch, error) { // want chargeflow
+	if f.n == 0 {
+		return nil, nil
+	}
+	f.n--
+	return f.out, nil
+}
+
+func (f *freeBatchNode) Close() error               { return nil }
+func (f *freeBatchNode) Plan() *optimizer.Plan      { return nil }
+func (f *freeBatchNode) Stats() *executor.NodeStats { return &f.stats }
+func (f *freeBatchNode) Children() []executor.Node  { return nil }
+
 // RaiseUnmarked constructs a CheckViolation but no NodeStats.Violated
 // write is reachable: the violation vanishes from EXPLAIN ANALYZE.
 func RaiseUnmarked(meta *optimizer.CheckMeta) error {

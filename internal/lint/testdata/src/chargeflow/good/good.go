@@ -78,6 +78,32 @@ func (o *openChargerNode) Plan() *optimizer.Plan      { return nil }
 func (o *openChargerNode) Stats() *executor.NodeStats { return &o.stats }
 func (o *openChargerNode) Children() []executor.Node  { return nil }
 
+// meteredBatchNode charges each delivered batch through Meter.AddTicks —
+// the pre-scaled charge idiom of the vectorized fast path.
+type meteredBatchNode struct {
+	stats executor.NodeStats
+	meter *executor.Meter
+	out   *executor.Batch
+	n     int
+}
+
+func (m *meteredBatchNode) Open() error                     { return nil }
+func (m *meteredBatchNode) Next() (schema.Row, bool, error) { return nil, false, nil }
+
+func (m *meteredBatchNode) NextBatch(max int) (*executor.Batch, error) {
+	if m.n == 0 {
+		return nil, nil
+	}
+	m.n--
+	m.meter.AddTicks(executor.Ticks(1) * int64(m.out.Len()))
+	return m.out, nil
+}
+
+func (m *meteredBatchNode) Close() error               { return nil }
+func (m *meteredBatchNode) Plan() *optimizer.Plan      { return nil }
+func (m *meteredBatchNode) Stats() *executor.NodeStats { return &m.stats }
+func (m *meteredBatchNode) Children() []executor.Node  { return nil }
+
 // sink is a concrete trace.Recorder, so the emit helpers below have a
 // reachable Record call.
 type sink struct{ events []trace.Event }

@@ -135,7 +135,7 @@ func (m *CostModel) Recost(p *Plan, cc, cs []float64) float64 {
 		outer, inner := cc[0], cc[1]
 		outerCost, innerCost := cs[0], cs[1]
 		probes := math.Max(outer, 0)
-		out := scaleCard(p.Card, cc, p.childCardsSnapshot())
+		out := scaleCardOf(p, cc)
 		if p.IndexJoin {
 			// Inner child is a parameterized index probe: its Cost is the
 			// per-probe cost and its Card the per-probe match count.
@@ -150,7 +150,7 @@ func (m *CostModel) Recost(p *Plan, cc, cs []float64) float64 {
 		probe, build := cc[0], cc[1]
 		probeCost, buildCost := cs[0], cs[1]
 		stages := m.hashStages(build, rowWidthOf(p.Children[1]))
-		out := scaleCard(p.Card, cc, p.childCardsSnapshot())
+		out := scaleCardOf(p, cc)
 		own := build*pr.HashBuildRow + probe*pr.HashProbeRow + out*pr.OutputRow
 		if stages > 1 {
 			own += (stages - 1) * (build + probe) * pr.SpillRow
@@ -159,7 +159,7 @@ func (m *CostModel) Recost(p *Plan, cc, cs []float64) float64 {
 
 	case OpMGJN:
 		l, r := cc[0], cc[1]
-		out := scaleCard(p.Card, cc, p.childCardsSnapshot())
+		out := scaleCardOf(p, cc)
 		return cs[0] + cs[1] + (l+r)*pr.MergeRow + out*pr.OutputRow
 
 	case OpSort:
@@ -172,7 +172,7 @@ func (m *CostModel) Recost(p *Plan, cc, cs []float64) float64 {
 
 	case OpHashAgg:
 		n := cc[0]
-		groups := scaleCard(p.Card, cc, p.childCardsSnapshot())
+		groups := scaleCardOf(p, cc)
 		return cs[0] + n*pr.HashBuildRow + groups*pr.OutputRow
 
 	case OpProject:
@@ -199,19 +199,22 @@ func (m *CostModel) Recost(p *Plan, cc, cs []float64) float64 {
 	}
 }
 
-// scaleCard scales the estimated output cardinality in proportion to the
+// scaleCardOf scales the estimated output cardinality in proportion to the
 // perturbed input cardinalities, so cost terms that depend on output size
-// respond to the sensitivity analysis. snapshot holds the cardinalities the
-// estimate was computed from.
-func scaleCard(est float64, cc, snapshot []float64) float64 {
-	out := est
+// respond to the sensitivity analysis. The snapshot — the cardinalities the
+// estimate was computed from — is read directly from the node's children
+// instead of materialized by childCardsSnapshot: the validity-range search
+// evaluates Recost thousands of times per optimization, and a per-evaluation
+// snapshot slice was the single largest allocation site in the whole system.
+func scaleCardOf(p *Plan, cc []float64) float64 {
+	out := p.Card
 	for i := range cc {
-		if i < len(snapshot) && snapshot[i] > 0 {
-			out *= cc[i] / snapshot[i]
+		if i < len(p.Children) && p.Children[i].Card > 0 {
+			out *= cc[i] / p.Children[i].Card
 		}
 	}
 	if math.IsNaN(out) || out < 0 {
-		return est
+		return p.Card
 	}
 	return out
 }

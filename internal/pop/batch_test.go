@@ -1,0 +1,114 @@
+package pop
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/executor"
+)
+
+// TestBatchModeMatrixMatchesRowMode pins the vectorized executor's end-to-end
+// invariant through the full POP loop: for every DOP, the result multiset,
+// the simulated work total (bit-for-bit), and the re-optimization count are
+// identical between row mode and every batch size — including runs where a
+// checkpoint violation aborts an attempt mid-way and the plan is re-optimized.
+func TestBatchModeMatrixMatchesRowMode(t *testing.T) {
+	cat := correlatedFixture(t)
+	q := correlatedQuery(t, cat)
+
+	cases := []struct {
+		name      string
+		configure func(opts *Options)
+		wantReopt bool
+	}{
+		// The default optimizer falls for the correlated estimate, picks index
+		// NLJN, violates a checkpoint and re-optimizes — the batch runs must
+		// walk the exact same attempt sequence.
+		{"default", func(*Options) {}, true},
+		{"dop=1", func(o *Options) { o.Configure = forceParallelHash(1) }, false},
+		{"dop=2", func(o *Options) { o.Configure = forceParallelHash(2) }, false},
+		{"dop=4", func(o *Options) { o.Configure = forceParallelHash(4) }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := DefaultOptions()
+			tc.configure(&base)
+			want, err := NewRunner(cat, base).Run(q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantReopt && want.Reopts == 0 {
+				t.Fatal("fixture should trigger at least one re-optimization")
+			}
+			wantRows := canon(want.Rows)
+
+			for _, size := range []int{1, 64, 1024} {
+				opts := DefaultOptions()
+				tc.configure(&opts)
+				opts.BatchSize = size
+				got, err := NewRunner(cat, opts).Run(q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Work != want.Work {
+					t.Errorf("size=%d: work = %v, want %v (row mode)", size, got.Work, want.Work)
+				}
+				if got.Reopts != want.Reopts {
+					t.Errorf("size=%d: reopts = %d, want %d", size, got.Reopts, want.Reopts)
+				}
+				gotRows := canon(got.Rows)
+				if len(gotRows) != len(wantRows) {
+					t.Fatalf("size=%d: %d rows, want %d", size, len(gotRows), len(wantRows))
+				}
+				for i := range gotRows {
+					if gotRows[i] != wantRows[i] {
+						t.Fatalf("size=%d: row %d = %s, want %s", size, i, gotRows[i], wantRows[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchExplainAnalyzeMatchesRow pins EXPLAIN ANALYZE attribution under
+// batching: every attempt's rendered stats tree — per-operator Work and
+// logical RowsOut — must be string-identical to the row-mode run's. Batched
+// operators charge pre-scaled integer ticks, and tick totals below 2^33 sum
+// losslessly in float64, so even the Work columns match exactly.
+func TestBatchExplainAnalyzeMatchesRow(t *testing.T) {
+	cat := correlatedFixture(t)
+	q := correlatedQuery(t, cat)
+
+	render := func(batchSize int) string {
+		opts := DefaultOptions()
+		opts.Analyze = true
+		opts.BatchSize = batchSize
+		res, err := NewRunner(cat, opts).Run(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for i, a := range res.Attempts {
+			if a.Stats == nil {
+				t.Fatalf("size=%d: attempt %d has no stats tree", batchSize, i)
+			}
+			fmt.Fprintf(&b, "-- attempt %d:\n", i)
+			b.WriteString(executor.FormatStats(a.Stats, q, executor.AnalyzeOptions{}))
+		}
+		// Temp-MV signatures embed the process-global statement counter;
+		// normalize it exactly as the golden test does.
+		return regexp.MustCompile(`stmt\d+/`).ReplaceAllString(b.String(), "stmt#/")
+	}
+
+	want := render(0)
+	if !strings.Contains(want, "actual=") {
+		t.Fatalf("row-mode analyze output looks empty:\n%s", want)
+	}
+	for _, size := range []int{1, 64, 1024} {
+		if got := render(size); got != want {
+			t.Errorf("size=%d: EXPLAIN ANALYZE differs from row mode:\ngot:\n%s\nwant:\n%s", size, got, want)
+		}
+	}
+}

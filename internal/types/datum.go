@@ -6,7 +6,6 @@ package types
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 	"time"
@@ -236,12 +235,52 @@ func (d Datum) Equal(o Datum) bool {
 	}
 }
 
+// FNV-64a parameters, mirrored from hash/fnv so HashFold produces exactly
+// the stream HashInto would feed through an fnv.New64a writer.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+// HashSeed is the initial state of a HashFold chain: the FNV-64a offset
+// basis. Folding datums into it yields exactly the value HashInto produces
+// through hash/fnv, without the hash.Hash64 interface allocation.
+const HashSeed uint64 = fnv64Offset
+
 // Hash returns a 64-bit hash of the datum, suitable for hash joins and
 // aggregation. NULLs hash to a fixed sentinel so they can be grouped.
 func (d Datum) Hash() uint64 {
-	h := fnv.New64a()
-	d.HashInto(h)
-	return h.Sum64()
+	return d.HashFold(HashSeed)
+}
+
+// HashFold mixes the datum into a running FNV-64a state and returns the new
+// state. It is the allocation-free form of HashInto: for any datum,
+// HashFold over a state equals writing HashInto's byte stream into an
+// fnv.New64a hasher holding that state. The executor's hash joins and
+// aggregations hash composite keys by chaining HashFold from HashSeed.
+func (d Datum) HashFold(h uint64) uint64 {
+	h = (h ^ uint64(byte(d.kind))) * fnv64Prime
+	switch d.kind {
+	case KindNull:
+	case KindString:
+		for i := 0; i < len(d.s); i++ {
+			h = (h ^ uint64(d.s[i])) * fnv64Prime
+		}
+	case KindFloat:
+		h = fnvFoldUint64(h, math.Float64bits(d.f))
+	default:
+		h = fnvFoldUint64(h, uint64(d.i))
+	}
+	return h
+}
+
+// fnvFoldUint64 folds the little-endian bytes of v into an FNV-64a state,
+// matching putUint64's byte order.
+func fnvFoldUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(v>>(8*uint(i))))) * fnv64Prime
+	}
+	return h
 }
 
 // hashWriter is the subset of hash.Hash64 HashInto needs.
