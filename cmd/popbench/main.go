@@ -12,6 +12,8 @@
 //	popbench -plancache           # plan-cache study → BENCH_plancache.json
 //	popbench -observability       # tracing-overhead study → BENCH_observability.json
 //	popbench -batch               # batch-execution study → BENCH_batch.json
+//	popbench -server              # multi-client serving study → BENCH_server.json
+//	popbench -server -smoke       # shrunken serving study for CI
 package main
 
 import (
@@ -44,10 +46,13 @@ func main() {
 		obsOut   = flag.String("obsout", "BENCH_observability.json", "output path for the observability study JSON")
 		batch    = flag.Bool("batch", false, "run the batch-execution study (row vs batch sizes × DOPs)")
 		batchOut = flag.String("batchout", "BENCH_batch.json", "output path for the batch study JSON")
+		srv      = flag.Bool("server", false, "run the multi-client serving study (work identity + open/closed-loop load matrix)")
+		srvOut   = flag.String("serverout", "BENCH_server.json", "output path for the serving study JSON")
+		smoke    = flag.Bool("smoke", false, "shrink the serving study's load matrix (CI smoke)")
 	)
 	flag.Parse()
 
-	if !*all && *fig == 0 && *table == 0 && !*parallel && !*pcache && !*obs && !*batch {
+	if !*all && *fig == 0 && *table == 0 && !*parallel && !*pcache && !*obs && !*batch && !*srv {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -208,6 +213,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *batchOut)
 	}
 
+	runServer := func() {
+		res, err := harness.ServerStudy(loadTPCH(), *smoke)
+		if err != nil {
+			fatal(err)
+		}
+		harness.WriteServer(os.Stdout, res)
+		f, err := os.Create(*srvOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteServerJSON(f, res); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *srvOut)
+	}
+
 	if *all {
 		harness.WriteTable1(os.Stdout)
 		fmt.Println()
@@ -221,6 +246,8 @@ func main() {
 		runObservability()
 		fmt.Println()
 		runBatch()
+		fmt.Println()
+		runServer()
 		return
 	}
 	if *table == 1 {
@@ -243,6 +270,9 @@ func main() {
 	}
 	if *batch {
 		runBatch()
+	}
+	if *srv {
+		runServer()
 	}
 }
 

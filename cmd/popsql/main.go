@@ -7,6 +7,12 @@
 //	popsql -db tpch -sf 0.005
 //	popsql -db dmv -scale 0.5
 //	popsql -db csv -dir ./data     # load every *.csv in a directory
+//	popsql -connect 127.0.0.1:7070 # client mode: run SQL on a popserver
+//
+// In -connect mode the shell is a thin network client: SQL executes on the
+// server (shared plan cache, admission-controlled scheduling), \metrics shows
+// the server's counters, and typed rejections (draining, backpressure)
+// surface as errors.
 //
 // Shell commands:
 //
@@ -38,6 +44,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/plancache"
 	"repro/internal/pop"
+	"repro/internal/server"
 	"repro/internal/sqlparse"
 	"repro/internal/tpch"
 	"repro/internal/trace"
@@ -69,12 +76,18 @@ func (s *session) recorder() trace.Recorder {
 
 func main() {
 	var (
-		db    = flag.String("db", "tpch", "database to load: tpch, dmv or csv")
-		sf    = flag.Float64("sf", 0.005, "TPC-H scale factor")
-		scale = flag.Float64("scale", 0.5, "DMV scale")
-		dir   = flag.String("dir", ".", "directory of *.csv files for -db csv")
+		db      = flag.String("db", "tpch", "database to load: tpch, dmv or csv")
+		sf      = flag.Float64("sf", 0.005, "TPC-H scale factor")
+		scale   = flag.Float64("scale", 0.5, "DMV scale")
+		dir     = flag.String("dir", ".", "directory of *.csv files for -db csv")
+		connect = flag.String("connect", "", "connect to a popserver at this TCP address instead of loading a database")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		connectREPL(*connect)
+		return
+	}
 
 	cat := catalog.New()
 	switch *db {
@@ -130,6 +143,69 @@ func main() {
 			s.analyze(strings.TrimSpace(strings.TrimPrefix(line, `\analyze`)))
 		default:
 			s.execute(line)
+		}
+		fmt.Print("popsql> ")
+	}
+}
+
+// connectREPL is the -connect client loop: SQL lines execute on the server
+// over the line-JSON protocol; \metrics fetches the server's counters; \q
+// quits.
+func connectREPL(addr string) {
+	c, err := server.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := c.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "popsql:", err)
+		}
+	}()
+	if err := c.Ping(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("connected to %s\n", addr)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("popsql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q`:
+			return
+		case line == `\metrics`:
+			text, err := c.MetricsText()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(text)
+			}
+		default:
+			resp, err := c.Query(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			if !resp.OK {
+				fmt.Printf("error (%s): %s\n", resp.Code, resp.Error)
+				break
+			}
+			for _, row := range resp.Rows {
+				fmt.Println(row)
+			}
+			if resp.RowCount > len(resp.Rows) {
+				fmt.Printf("... (%d more rows)\n", resp.RowCount-len(resp.Rows))
+			}
+			fmt.Printf("-- %d rows, %.0f work units, %d re-optimization(s), %.1fms (%.1fms queued)\n",
+				resp.RowCount, resp.Work, resp.Reopts,
+				float64(resp.ElapsedNS)/1e6, float64(resp.WaitNS)/1e6)
+			if resp.CacheHit {
+				fmt.Println("-- plan cache HIT")
+			}
+			if resp.CacheInvalidated {
+				fmt.Println("-- plan cache: violated plan invalidated")
+			}
 		}
 		fmt.Print("popsql> ")
 	}

@@ -24,6 +24,43 @@ func (e *Executor) workerEvent(kind trace.Kind, phase string, worker, dop int, r
 	}
 }
 
+// clampEvent emits a dop_clamp trace event recording that the worker gate
+// granted fewer workers than the plan's DOP asked for (granted 0 = the
+// exchange ran inline on the caller's goroutine).
+func (e *Executor) clampEvent(want, granted int) {
+	if tr := e.Trace; tr != nil {
+		tr.Record(trace.Event{
+			Kind:  trace.DOPClamp,
+			Sched: &trace.SchedInfo{Want: want, Granted: granted},
+		})
+	}
+}
+
+// acquireWorkers resolves the width an exchange actually runs at. With no
+// gate the plan's width is granted in full (the library's historical
+// behavior). With a gate, the grant is whatever the pool can spare right
+// now: less than asked clamps the DOP, and zero selects the inline fallback
+// — dop 1 on the caller's goroutine with no spawned workers. The returned
+// grant must be released exactly once by the owning node (poolleak checks
+// this pairing).
+func (e *Executor) acquireWorkers(want int) (dop int, grant workerGrant, inline bool) {
+	if want < 1 {
+		want = 1
+	}
+	if e.Gate == nil {
+		return want, workerGrant{}, false
+	}
+	got := e.Gate.AcquireWorkers(want)
+	grant = workerGrant{gate: e.Gate, n: got}
+	if got < want {
+		e.clampEvent(want, got)
+	}
+	if got < 1 {
+		return 1, grant, true
+	}
+	return got, grant, false
+}
+
 // This file implements morsel-style intra-query parallelism: exchange
 // operators (GATHER, and REPART folded into a partitioned hash join) that
 // fan a plan fragment out across DOP workers.
@@ -143,13 +180,18 @@ func (s *exchangeStub) Next() (schema.Row, bool, error) { return nil, false, nil
 func (s *exchangeStub) Close() error                    { return nil }
 
 // gatherNode runs DOP partition clones of its child concurrently and merges
-// their output streams in arrival order.
+// their output streams in arrival order. When the worker gate grants zero
+// workers it degrades to an inline mode: one un-partitioned clone driven
+// directly on the consumer's goroutine, charging exactly what a DOP-1
+// gather charges but spawning nothing.
 type gatherNode struct {
 	base
 	ex     *Executor
 	dop    int
 	clones []Node
 	meters []*Meter
+	grant  workerGrant
+	inline bool
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -160,14 +202,35 @@ type gatherNode struct {
 	surfaced bool  // an error was already returned from Next
 	drainErr error // first worker error discarded while draining on abort
 
-	held   *Batch // last delivered transfer batch, recycled on the next pull
-	exRowT int64  // pre-scaled per-row exchange charge
+	held   *Batch     // last delivered transfer batch, recycled on the next pull
+	exRowT int64      // pre-scaled per-row exchange charge
+	inEdge *batchEdge // inline batch mode: the clone's batch edge
 }
 
 func (e *Executor) buildGather(p *optimizer.Plan) (Node, error) {
-	dop := e.dopFor(p)
+	dop, grant, inline := e.acquireWorkers(e.dopFor(p))
+	if inline {
+		// Zero grant: build one full-width clone charging the consumer's
+		// meter directly — no worker copy, no goroutines. Work is identical
+		// to a DOP-1 gather (which is identical to every other DOP).
+		clone, err := e.Build(p.Children[0])
+		if err != nil {
+			grant.release()
+			return nil, err
+		}
+		applyPartition(clone, 0, 1)
+		return &gatherNode{
+			base:   base{plan: p, children: []Node{clone}},
+			ex:     e,
+			dop:    1,
+			clones: []Node{clone},
+			grant:  grant,
+			inline: true,
+		}, nil
+	}
 	clones, meters, err := e.buildClones(p.Children[0], dop)
 	if err != nil {
+		grant.release()
 		return nil, err
 	}
 	return &gatherNode{
@@ -176,6 +239,7 @@ func (e *Executor) buildGather(p *optimizer.Plan) (Node, error) {
 		dop:    dop,
 		clones: clones,
 		meters: meters,
+		grant:  grant,
 	}, nil
 }
 
@@ -184,6 +248,16 @@ func (n *gatherNode) Open() error {
 	n.exRowT = Ticks(n.ex.Cost.ExchangeRow)
 	n.held = nil
 	n.charge(n.ex, n.ex.Cost.ExchangeSetup)
+	if n.inline {
+		n.opened = true
+		if err := n.clones[0].Open(); err != nil {
+			return err
+		}
+		if n.ex.BatchSize > 0 {
+			n.inEdge = n.ex.batchEdge(n.clones[0])
+		}
+		return nil
+	}
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 	n.ch = make(chan rowMsg, n.dop*exchangeBuffer)
 	n.opened = true
@@ -290,6 +364,18 @@ func runPartitionBatched(ctx context.Context, ex *Executor, clone Node, ch chan<
 }
 
 func (n *gatherNode) Next() (schema.Row, bool, error) {
+	if n.inline {
+		row, ok, err := n.clones[0].Next()
+		if err != nil || !ok {
+			if err == nil {
+				n.stats.Done = true
+			}
+			return nil, false, err
+		}
+		n.charge(n.ex, n.ex.Cost.ExchangeRow)
+		n.stats.RowsOut++
+		return row, true, nil
+	}
 	msg, ok := <-n.ch
 	if !ok {
 		n.stats.Done = true
@@ -314,6 +400,22 @@ func (n *gatherNode) Next() (schema.Row, bool, error) {
 // recycled to the pool, which is safe because the consumer's pull is the
 // end of that batch's validity window.
 func (n *gatherNode) NextBatch(max int) (*Batch, error) {
+	if n.inline {
+		// The clone's batch is returned directly: its validity window (until
+		// the consumer's next pull) is exactly the edge's own, so no transfer
+		// copy and no held recycling are needed.
+		b, err := n.inEdge.pull(0)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			n.stats.Done = true
+			return nil, nil
+		}
+		n.chargeTicks(n.ex, n.exRowT, b.Len())
+		n.stats.RowsOut += float64(b.Len())
+		return b, nil
+	}
 	if n.held != nil {
 		putBatch(n.held)
 		n.held = nil
@@ -359,6 +461,10 @@ func (n *gatherNode) retainDrainErr(err error) {
 }
 
 func (n *gatherNode) Close() error {
+	defer n.grant.release()
+	if n.inline {
+		return n.closeChildren() // the single inline clone
+	}
 	if !n.opened {
 		return n.closeChildren()
 	}
@@ -387,9 +493,11 @@ type buildEntry struct {
 // harvesting and build-reuse promotion see the join, not the exchange.
 type parallelHSJNNode struct {
 	base
-	ex    *Executor
-	gplan *optimizer.Plan // the GATHER above the join (exchange charges)
-	dop   int
+	ex     *Executor
+	gplan  *optimizer.Plan // the GATHER above the join (exchange charges)
+	dop    int
+	grant  workerGrant
+	inline bool
 
 	probeKeys []int
 	buildKeys []int
@@ -422,11 +530,30 @@ type parallelHSJNNode struct {
 
 	held   *Batch // last delivered transfer batch, recycled on the next pull
 	exRowT int64  // pre-scaled per-row exchange charge
+
+	// Inline (zero-grant) mode state: the single-partition probe runs on the
+	// consumer's goroutine with a bucket cursor mirroring the serial hash
+	// join's, charging exactly the worker-loop amounts.
+	probeT, outT  int64      // pre-scaled per-probe-row / per-output-row ticks
+	inEdge        *batchEdge // probe clone's batch edge (batch mode)
+	curRow        schema.Row // probe row whose bucket is being drained
+	curBucket     []schema.Row
+	curIdx        int
+	inBatch       *Batch // current probe batch (batch mode)
+	inRowIdx      int
+	srcDone       bool
+	inlineDrained bool // finishInlineProbe ran
 }
 
 func (e *Executor) buildParallelHSJN(gp, jp *optimizer.Plan) (Node, error) {
-	dop := e.dopFor(gp)
-	n := &parallelHSJNNode{base: base{plan: jp}, ex: e, gplan: gp, dop: dop}
+	dop, grant, inline := e.acquireWorkers(e.dopFor(gp))
+	n := &parallelHSJNNode{base: base{plan: jp}, ex: e, gplan: gp, dop: dop, grant: grant, inline: inline}
+	built := false
+	defer func() {
+		if !built {
+			n.grant.release()
+		}
+	}()
 	var err error
 	n.filter, err = e.remap(jp.Filter, jp.Cols)
 	if err != nil {
@@ -451,6 +578,7 @@ func (e *Executor) buildParallelHSJN(gp, jp *optimizer.Plan) (Node, error) {
 	n.probeStub = newExchangeStub(jp.Children[0], n.probeClones)
 	n.buildStub = newExchangeStub(jp.Children[1], n.buildClones)
 	n.children = []Node{n.probeStub, n.buildStub}
+	built = true
 	return n, nil
 }
 
@@ -488,6 +616,9 @@ func (n *parallelHSJNNode) Open() error {
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 	n.opened = true
 	n.buildStub.stats.Opened = true
+	if n.inline {
+		return n.openInline()
+	}
 
 	// Phase 1: partitioned build. Each worker drains its morsel stripe into
 	// per-worker, per-partition buffers — no locks on the hot path.
@@ -589,6 +720,225 @@ func (n *parallelHSJNNode) Open() error {
 		close(n.ch)
 	}()
 	return nil
+}
+
+// openInline is the zero-grant Open: build and probe both run at dop 1 on
+// the consumer's goroutine. The build reuses runBuildWorker synchronously
+// (it closes its own clone and drains into the worker meter, which is
+// drained here), the single partition table is assembled in place, and the
+// grace-staging charge is computed by the same formula as the concurrent
+// path — so the simulated work total is bit-identical to every other DOP.
+func (n *parallelHSJNNode) openInline() error {
+	pr := &n.ex.Cost
+	bufs := make([][]buildEntry, 1)
+	var all []schema.Row
+	err := n.runBuildWorker(0, bufs, &all)
+	n.buildMeters[0].drain(n.ex.Meter)
+	if err != nil {
+		return err
+	}
+	n.buildRows = all
+	n.buildDone = true
+	n.buildStub.stats.RowsOut = float64(len(all))
+	n.buildStub.stats.Done = true
+
+	table := make(map[uint64][]schema.Row, len(bufs[0]))
+	for _, e := range bufs[0] {
+		table[e.hash] = append(table[e.hash], e.row)
+	}
+	n.parts = []map[uint64][]schema.Row{table}
+
+	buildRows := float64(len(all))
+	width := float64(len(n.plan.Children[1].Cols)) * 12
+	stages := 1.0
+	if pr.MemoryBytes > 0 {
+		for buildRows*width > stages*pr.MemoryBytes {
+			stages++
+		}
+	}
+	if stages > 1 {
+		n.charge(n.ex, (stages-1)*buildRows*pr.SpillRow)
+		n.spillExtra = (stages - 1) * pr.SpillRow
+		n.stats.Spilled = true
+	}
+
+	n.probeT = Ticks(pr.ExchangeRow + pr.HashProbeRow + n.spillExtra)
+	n.outT = Ticks(pr.OutputRow)
+	n.probeStub.stats.Opened = true
+	if err := n.probeClones[0].Open(); err != nil {
+		return err
+	}
+	if n.ex.BatchSize > 0 {
+		n.inEdge = n.ex.batchEdge(n.probeClones[0])
+	}
+	return nil
+}
+
+// chargeInline charges worker-loop ticks from the inline probe loop: the
+// meter funding matches a probe worker's (statement meter via the consumer)
+// and the analyze attribution matches the concurrent path's extraWork.
+func (n *parallelHSJNNode) chargeInline(t int64) {
+	n.ex.Meter.AddTicks(t)
+	if n.ex.Analyze {
+		n.addAnalyzeTicks(t)
+	}
+}
+
+// finishInlineProbe drains the probe clone's worker meter into the
+// statement meter and folds its stats into the probe stub, mirroring what
+// the concurrent probe workers and their closer goroutine do. Idempotent:
+// called at end of stream and again from Close.
+func (n *parallelHSJNNode) finishInlineProbe() {
+	if n.inlineDrained {
+		return
+	}
+	n.inlineDrained = true
+	n.probeMeters[0].drain(n.ex.Meter)
+	n.probeStub.stats.RowsOut = n.probeClones[0].Stats().RowsOut
+	n.probeStub.stats.Done = n.probeClones[0].Stats().Done
+}
+
+// inlineNext is the row-mode inline probe loop: drain the current hash
+// bucket's cursor, then advance to the next probe row. Charges are the
+// probe worker's exactly — probeT per probe row (keyed or not), outT per
+// emitted row — plus the consumer's ExchangeRow per delivered row.
+func (n *parallelHSJNNode) inlineNext() (schema.Row, bool, error) {
+	for {
+		for n.curIdx < len(n.curBucket) {
+			b := n.curBucket[n.curIdx]
+			n.curIdx++
+			if !keysEqual(n.curRow, n.probeKeys, b, n.buildKeys) {
+				continue
+			}
+			joined := n.curRow.Concat(b)
+			keep, ferr := evalFilter(n.filter, n.ex.ectx, joined)
+			if ferr != nil {
+				return nil, false, ferr
+			}
+			if !keep {
+				continue
+			}
+			n.chargeInline(n.outT)
+			n.charge(n.ex, n.ex.Cost.ExchangeRow)
+			n.stats.RowsOut++
+			return joined, true, nil
+		}
+		row, ok, err := n.probeClones[0].Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			n.stats.Done = true
+			n.finishInlineProbe()
+			return nil, false, nil
+		}
+		n.chargeInline(n.probeT)
+		h, keyed := hashKeyAt(row, n.probeKeys)
+		if !keyed {
+			continue
+		}
+		n.curRow = row
+		n.curBucket = n.parts[0][h]
+		n.curIdx = 0
+	}
+}
+
+// inlineNextBatch is the batch-mode inline probe loop: probe batches are
+// pulled through the clone's batch edge (probeT per pulled row), joined
+// rows are carved into a pooled output batch (outT per emitted row), and
+// each delivered batch charges ExchangeRow per row — the exact tick totals
+// of runProbeWorkerBatched plus the consumer's NextBatch charge.
+func (n *parallelHSJNNode) inlineNextBatch() (*Batch, error) {
+	if n.held != nil {
+		putBatch(n.held)
+		n.held = nil
+	}
+	if n.srcDone {
+		return nil, nil
+	}
+	out := getBatch(n.ex.BatchSize)
+	emitted := 0
+	charge := func() {
+		if emitted > 0 {
+			n.chargeInline(n.outT * int64(emitted))
+			emitted = 0
+		}
+	}
+	deliver := func() *Batch {
+		charge()
+		n.chargeTicks(n.ex, n.exRowT, out.Len())
+		n.stats.RowsOut += float64(out.Len())
+		n.held = out
+		return out
+	}
+	for {
+		if n.inBatch == nil || n.inRowIdx >= n.inBatch.Len() {
+			b, err := n.inEdge.pull(0)
+			if err != nil {
+				charge()
+				putBatch(out)
+				return nil, err
+			}
+			if b == nil {
+				n.srcDone = true
+				n.stats.Done = true
+				n.finishInlineProbe()
+				if out.Len() == 0 {
+					putBatch(out)
+					return nil, nil
+				}
+				return deliver(), nil
+			}
+			n.chargeInline(n.probeT * int64(b.Len()))
+			n.inBatch = b
+			n.inRowIdx = 0
+		}
+		for n.inRowIdx < n.inBatch.Len() {
+			row := n.inBatch.Rows[n.inRowIdx]
+			n.inRowIdx++
+			h, keyed := hashKeyAt(row, n.probeKeys)
+			if !keyed {
+				continue
+			}
+			for _, br := range n.parts[0][h] {
+				if !keysEqual(row, n.probeKeys, br, n.buildKeys) {
+					continue
+				}
+				joined := out.Alloc(len(row) + len(br))
+				copy(joined, row)
+				copy(joined[len(row):], br)
+				keep, ferr := evalFilter(n.filter, n.ex.ectx, joined)
+				if ferr != nil {
+					out.dropLast(len(row) + len(br))
+					charge()
+					putBatch(out)
+					return nil, ferr
+				}
+				if !keep {
+					out.dropLast(len(row) + len(br))
+					continue
+				}
+				emitted++
+			}
+			if out.Len() >= n.ex.BatchSize {
+				return deliver(), nil
+			}
+		}
+	}
+}
+
+// closeInline releases inline-mode resources: the probe clone (the build
+// clone was closed by the synchronous runBuildWorker) and the held batch,
+// then folds the probe stub stats for an early (LIMIT) stop.
+func (n *parallelHSJNNode) closeInline() error {
+	n.cancel()
+	if n.held != nil {
+		putBatch(n.held)
+		n.held = nil
+	}
+	err := closeAll(n.probeClones)
+	n.finishInlineProbe()
+	return err
 }
 
 // runBuildWorker drains one build stripe, retaining rows and routing keyed
@@ -832,6 +1182,9 @@ func (n *parallelHSJNNode) runProbeWorkerBatched(clone Node, meter *Meter, probe
 }
 
 func (n *parallelHSJNNode) Next() (schema.Row, bool, error) {
+	if n.inline {
+		return n.inlineNext()
+	}
 	msg, ok := <-n.ch
 	if !ok {
 		n.stats.Done = true
@@ -852,6 +1205,9 @@ func (n *parallelHSJNNode) Next() (schema.Row, bool, error) {
 // gatherNode.NextBatch; the previously delivered batch is recycled on the
 // next pull.
 func (n *parallelHSJNNode) NextBatch(max int) (*Batch, error) {
+	if n.inline {
+		return n.inlineNextBatch()
+	}
 	if n.held != nil {
 		putBatch(n.held)
 		n.held = nil
@@ -904,12 +1260,16 @@ func closeAll(nodes []Node) error {
 }
 
 func (n *parallelHSJNNode) Close() error {
+	defer n.grant.release()
 	if !n.opened {
 		if err := closeAll(n.probeClones); err != nil {
 			closeAll(n.buildClones)
 			return err
 		}
 		return closeAll(n.buildClones)
+	}
+	if n.inline {
+		return n.closeInline()
 	}
 	n.abort() // build workers already closed their clones; probe workers close theirs on exit
 	if n.held != nil {

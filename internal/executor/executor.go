@@ -161,6 +161,37 @@ func (v *CheckViolation) Error() string {
 		v.Check.ID, v.Check.Flavor, v.Actual, kind, v.Check.Range.Lo, v.Check.Range.Hi, v.Check.EstCard)
 }
 
+// WorkerGate arbitrates the global worker pool between concurrent queries.
+// AcquireWorkers asks for up to want additional workers and returns how many
+// were granted (0..want) without blocking; every granted worker must be
+// returned with exactly one ReleaseWorkers call (the poplint poolleak rule
+// checks the pairing). A zero grant means "run inline on the caller's
+// goroutine": exchanges degrade to a DOP-1 inline mode that spawns nothing
+// yet charges the same simulated work. A nil gate grants every request in
+// full, preserving the library's historical spawn-freely behavior.
+type WorkerGate interface {
+	// AcquireWorkers requests up to want workers, returning the grant.
+	AcquireWorkers(want int) int
+	// ReleaseWorkers returns previously granted workers to the pool.
+	ReleaseWorkers(n int)
+}
+
+// workerGrant records an acquisition from a WorkerGate so the owning node can
+// release it exactly once on every exit path.
+type workerGrant struct {
+	gate WorkerGate
+	n    int
+}
+
+// release returns the grant to the gate. Safe to call more than once and on
+// the zero value: the first call zeroes the count.
+func (g *workerGrant) release() {
+	if g.gate != nil && g.n > 0 {
+		g.gate.ReleaseWorkers(g.n)
+		g.n = 0
+	}
+}
+
 // Executor builds executable trees for one query.
 type Executor struct {
 	Cat    *catalog.Catalog
@@ -185,6 +216,13 @@ type Executor struct {
 	// exchange worker lifecycles) when non-nil. Emission sites are guarded
 	// by a nil check, so the disabled path constructs no events.
 	Trace trace.Recorder
+
+	// Gate, when non-nil, arbitrates exchange worker spawning against a
+	// global pool: each exchange asks for its plan DOP and runs at whatever
+	// width is granted (including an inline zero-goroutine mode at grant 0).
+	// Simulated work is bit-identical at every granted width; only wall-clock
+	// parallelism changes. Nil preserves ungated spawning.
+	Gate WorkerGate
 
 	// BatchSize enables batch-at-a-time execution: operators with a native
 	// NextBatch move rows in batches of this many rows, and materializing

@@ -42,7 +42,7 @@ const allowPrefix = "//poplint:allow"
 
 // Analyzers returns the full POP suite in reporting order: the four
 // intra-procedural rules from the original suite, the doc-comment gate,
-// and the three interprocedural rules built on the call graph.
+// and the four interprocedural rules built on the call graph.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -53,6 +53,7 @@ func Analyzers() []*Analyzer {
 		GoroutineLeakAnalyzer,
 		LockOrderAnalyzer,
 		ChargeFlowAnalyzer,
+		PoolLeakAnalyzer,
 	}
 }
 

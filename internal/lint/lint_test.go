@@ -105,6 +105,8 @@ func TestGoldenFixtures(t *testing.T) {
 		{"lockorder/good", "repro/internal/fixlockgood"},
 		{"chargeflow/bad", "repro/internal/executor/fixcharge"},
 		{"chargeflow/good", "repro/internal/executor/fixchargegood"},
+		{"poolleak/bad", "repro/internal/server/fixpool"},
+		{"poolleak/good", "repro/internal/server/fixpoolgood"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -1,0 +1,41 @@
+// Package fixpool is a poplint fixture: the worker-pool leaks the poolleak
+// rule must catch — a discarded grant, an acquire with no release anywhere
+// in reach, and an acquire whose only "release" is a method of a type the
+// acquiring path never constructs.
+package fixpool
+
+import "repro/internal/executor"
+
+// Burn acquires and throws the grant away: the bare expression statement
+// can never release.
+func Burn(gate executor.WorkerGate) {
+	gate.AcquireWorkers(4) // want poolleak
+}
+
+// Hoard keeps the grant in a local but no ReleaseWorkers call is reachable
+// from here through any call edge or constructed type.
+func Hoard(gate executor.WorkerGate) int {
+	got := gate.AcquireWorkers(4) // want poolleak
+	return got
+}
+
+// holder owns a grant but its releasing method lives on a different type
+// (dropper) that Stash never constructs, so the handoff extension must not
+// discharge it.
+type holder struct {
+	gate executor.WorkerGate
+	n    int
+}
+
+// dropper is the unrelated type whose free method would release.
+type dropper struct {
+	gate executor.WorkerGate
+	n    int
+}
+
+func (d *dropper) free() { d.gate.ReleaseWorkers(d.n) }
+
+// Stash wraps the grant in a holder, which has no releasing method.
+func Stash(gate executor.WorkerGate) *holder {
+	return &holder{gate: gate, n: gate.AcquireWorkers(2)} // want poolleak
+}

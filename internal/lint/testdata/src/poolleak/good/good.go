@@ -1,0 +1,64 @@
+// Package fixpoolgood is a poplint fixture: discharge idioms the poolleak
+// rule must accept — a release on the same path, a release through a helper
+// two calls deep, a deferred release, and the executor's ownership-transfer
+// idiom where the grant is wrapped in a struct whose release method is
+// invoked by a later owner.
+package fixpoolgood
+
+import "repro/internal/executor"
+
+// RunBounded releases on the same path it acquired.
+func RunBounded(gate executor.WorkerGate) {
+	got := gate.AcquireWorkers(4)
+	work(got)
+	gate.ReleaseWorkers(got)
+}
+
+// RunDeferred releases via defer, covering early returns.
+func RunDeferred(gate executor.WorkerGate) {
+	got := gate.AcquireWorkers(4)
+	defer gate.ReleaseWorkers(got)
+	work(got)
+}
+
+// RunHelper reaches the release two helper calls deep.
+func RunHelper(gate executor.WorkerGate) {
+	got := gate.AcquireWorkers(4)
+	work(got)
+	giveBack(gate, got)
+}
+
+func giveBack(gate executor.WorkerGate, n int) { returnAll(gate, n) }
+func returnAll(gate executor.WorkerGate, n int) {
+	gate.ReleaseWorkers(n)
+}
+
+// grant is the ownership-transfer idiom: the acquiring function hands the
+// grant to a value whose release method the eventual owner calls.
+type grant struct {
+	gate executor.WorkerGate
+	n    int
+}
+
+func (g *grant) release() {
+	if g.gate != nil && g.n > 0 {
+		g.gate.ReleaseWorkers(g.n)
+		g.n = 0
+	}
+}
+
+// Borrow acquires and transfers ownership: constructing grant puts its
+// release method in reach even though Borrow itself never releases.
+func Borrow(gate executor.WorkerGate) *grant {
+	got := gate.AcquireWorkers(2)
+	return &grant{gate: gate, n: got}
+}
+
+// Close is the eventual owner's discharge path.
+func Close(g *grant) { g.release() }
+
+func work(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"hash/fnv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/logical"
 	"repro/internal/optimizer"
@@ -172,6 +173,14 @@ type Cache struct {
 	// MaxPlansPerEntry bounds each entry's parametric plan set;
 	// 0 means DefaultMaxPlansPerEntry.
 	MaxPlansPerEntry int
+
+	// Lock-contention observability for the serving path: lookupFast counts
+	// Entry calls answered by the shard read lock, lookupSlow the ones that
+	// had to take the write lock to create the entry, and contended the lock
+	// acquisitions (either kind) that found the lock held and had to wait.
+	lookupFast atomic.Int64
+	lookupSlow atomic.Int64
+	contended  atomic.Int64
 }
 
 // New returns an empty cache.
@@ -195,13 +204,21 @@ func (c *Cache) Entry(key string) *Entry {
 	h := fnv.New64a()
 	h.Write([]byte(key))
 	s := &c.shards[h.Sum64()%numShards]
-	s.mu.RLock()
+	if !s.mu.TryRLock() {
+		c.contended.Add(1)
+		s.mu.RLock()
+	}
 	e := s.entries[key]
 	s.mu.RUnlock()
 	if e != nil {
+		c.lookupFast.Add(1)
 		return e
 	}
-	s.mu.Lock()
+	c.lookupSlow.Add(1)
+	if !s.mu.TryLock() {
+		c.contended.Add(1)
+		s.mu.Lock()
+	}
 	defer s.mu.Unlock()
 	if e = s.entries[key]; e == nil {
 		e = &Entry{Feedback: stats.NewFeedback()}
@@ -217,11 +234,22 @@ type Stats struct {
 	Hits          int
 	Misses        int
 	Invalidations int
+
+	// LookupFast/LookupSlow split Entry calls by the lock they resolved
+	// under (shard read lock vs. entry-creating write lock); Contended
+	// counts the acquisitions that found the shard lock held.
+	LookupFast int64
+	LookupSlow int64
+	Contended  int64
 }
 
 // Stats walks the cache and sums per-entry counters.
 func (c *Cache) Stats() Stats {
-	var st Stats
+	st := Stats{
+		LookupFast: c.lookupFast.Load(),
+		LookupSlow: c.lookupSlow.Load(),
+		Contended:  c.contended.Load(),
+	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.RLock()

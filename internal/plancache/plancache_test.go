@@ -1,6 +1,7 @@
 package plancache
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/expr"
 	"repro/internal/logical"
+	"repro/internal/metrics"
 	"repro/internal/optimizer"
 	"repro/internal/pop"
 	"repro/internal/schema"
@@ -341,6 +343,96 @@ func TestConcurrentRuns(t *testing.T) {
 	if st.Hits == 0 {
 		t.Errorf("repeated bindings should produce hits, got %+v", st)
 	}
+}
+
+// TestContendedSignatureCountsMatchSerial hammers one statement signature
+// from 16 goroutines and checks, under -race, that the cache's hit, miss,
+// invalidation and guard-verdict counts exactly match a serial execution of
+// the same workload: concurrency may add lock contention (now observable via
+// Stats.Contended) but must never change a verdict. The cache is warmed
+// first so every concurrent lookup is a guarded hit — the only schedule-
+// independent workload, since racing cold misses could legitimately
+// duplicate optimizations.
+func TestContendedSignatureCountsMatchSerial(t *testing.T) {
+	cat := tpchFixture(t)
+	const goroutines = 16
+	const perG = 4
+	binding := []types.Datum{types.NewFloat(25)}
+
+	run := func(concurrent bool) (Stats, metrics.Snapshot) {
+		t.Helper()
+		reg := metrics.New()
+		opts := pop.DefaultOptions()
+		opts.Trace = reg
+		r := NewRunner(New(), cat, opts)
+		q := q10Param(t, cat)
+		// Warm-up: the single cold miss that caches the plan.
+		if _, info, err := r.Run(q, binding); err != nil {
+			t.Fatal(err)
+		} else if info.Hit || info.Invalidated {
+			t.Fatalf("warm-up must be a clean miss, got %+v", info)
+		}
+		body := func(g int) error {
+			for i := 0; i < perG; i++ {
+				_, info, err := r.Run(q, binding)
+				if err != nil {
+					return err
+				}
+				if !info.Hit {
+					return fmt.Errorf("goroutine %d run %d: warmed cache missed", g, i)
+				}
+			}
+			return nil
+		}
+		if concurrent {
+			var wg sync.WaitGroup
+			errs := make([]error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					errs[g] = body(g)
+				}(g)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			for g := 0; g < goroutines; g++ {
+				if err := body(g); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return r.Cache.Stats(), reg.Snapshot()
+	}
+
+	serialSt, serialM := run(false)
+	concSt, concM := run(true)
+
+	if concSt.Hits != serialSt.Hits || concSt.Misses != serialSt.Misses || concSt.Invalidations != serialSt.Invalidations {
+		t.Errorf("cache verdicts diverged: concurrent %+v vs serial %+v", concSt, serialSt)
+	}
+	if concSt.LookupFast != serialSt.LookupFast || concSt.LookupSlow != serialSt.LookupSlow {
+		t.Errorf("lookup split diverged: concurrent fast=%d slow=%d vs serial fast=%d slow=%d",
+			concSt.LookupFast, concSt.LookupSlow, serialSt.LookupFast, serialSt.LookupSlow)
+	}
+	if concSt.Hits != goroutines*perG || concSt.Misses != 1 {
+		t.Errorf("want %d hits / 1 miss, got %+v", goroutines*perG, concSt)
+	}
+	if concM.CacheHits != serialM.CacheHits || concM.CacheMisses != serialM.CacheMisses ||
+		concM.CacheGuardRejects != serialM.CacheGuardRejects || concM.CacheInvalidates != serialM.CacheInvalidates {
+		t.Errorf("traced guard verdicts diverged: concurrent hits=%d misses=%d rejects=%d inval=%d vs serial hits=%d misses=%d rejects=%d inval=%d",
+			concM.CacheHits, concM.CacheMisses, concM.CacheGuardRejects, concM.CacheInvalidates,
+			serialM.CacheHits, serialM.CacheMisses, serialM.CacheGuardRejects, serialM.CacheInvalidates)
+	}
+	if concSt.Contended < 0 {
+		t.Errorf("contended count negative: %d", concSt.Contended)
+	}
+	t.Logf("contended lock acquisitions: serial=%d concurrent=%d", serialSt.Contended, concSt.Contended)
 }
 
 // TestInvalidationAccountsReoptimize pins the invalidation path's accounting:

@@ -78,6 +78,12 @@ type Options struct {
 	// classic row-at-a-time execution. Results, checkpoint outcomes and the
 	// simulated work total are bit-identical across all settings.
 	BatchSize int
+	// Gate, when non-nil, arbitrates exchange worker spawning against a
+	// shared pool (see executor.WorkerGate): exchanges run at whatever width
+	// the gate grants, down to an inline zero-goroutine mode, with the
+	// simulated work total bit-identical at every granted width. The server's
+	// scheduler supplies this; nil keeps the library's ungated spawning.
+	Gate executor.WorkerGate
 }
 
 // DefaultOptions is POP as the paper's prototype defaults: enabled, LC+LCEM,
@@ -261,6 +267,7 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*Result, error) {
 		}
 		ex.Analyze = r.Opts.Analyze
 		ex.BatchSize = r.Opts.BatchSize
+		ex.Gate = r.Opts.Gate
 		if tr != nil {
 			ex.Trace = tr
 		}

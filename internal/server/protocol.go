@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// The wire protocol is line-delimited JSON over TCP: one Request object per
+// line in, one Response object per line out, correlated by ID. Requests on a
+// connection may be pipelined — the server executes them concurrently
+// (subject to admission control) and responses may arrive out of order. The
+// HTTP endpoint reuses the same two types, one Request per POST /query body.
+
+// Error codes a Response can carry; empty on success.
+const (
+	// CodeDraining rejects queries arriving after shutdown began.
+	CodeDraining = "draining"
+	// CodeBackpressure rejects a session whose admission-queue allowance is
+	// exhausted; the client should finish in-flight queries before retrying.
+	CodeBackpressure = "backpressure"
+	// CodeParse reports a malformed request or SQL that failed to parse.
+	CodeParse = "parse"
+	// CodeExec reports an execution-time failure.
+	CodeExec = "exec"
+	// CodeCanceled reports a query abandoned because its context ended
+	// (connection closed, deadline exceeded).
+	CodeCanceled = "canceled"
+)
+
+// Request operations.
+const (
+	// OpQuery executes SQL (with optional parameter bindings).
+	OpQuery = "query"
+	// OpPing round-trips without touching the engine.
+	OpPing = "ping"
+	// OpMetrics returns the server's cumulative counters in Response.Text.
+	OpMetrics = "metrics"
+	// OpClose asks the server to close the connection after responding.
+	OpClose = "close"
+)
+
+// ParamValue is one parameter binding; exactly one field should be set.
+type ParamValue struct {
+	Float *float64 `json:"float,omitempty"`
+	Int   *int64   `json:"int,omitempty"`
+	Str   *string  `json:"str,omitempty"`
+}
+
+// datum converts the wire value to an engine datum.
+func (p ParamValue) datum() (types.Datum, error) {
+	switch {
+	case p.Float != nil:
+		return types.NewFloat(*p.Float), nil
+	case p.Int != nil:
+		return types.NewInt(*p.Int), nil
+	case p.Str != nil:
+		return types.NewString(*p.Str), nil
+	}
+	return types.Datum{}, fmt.Errorf("empty parameter value")
+}
+
+// Request is one client message.
+type Request struct {
+	ID     int64        `json:"id"`
+	Op     string       `json:"op"`
+	SQL    string       `json:"sql,omitempty"`
+	Params []ParamValue `json:"params,omitempty"`
+}
+
+// Response is one server message. Work is the statement's simulated work in
+// the engine's canonical units; it round-trips exactly through JSON (Go
+// encodes float64 shortest-form and decodes it bit-identically), which the
+// serving benchmark's work-identity check depends on.
+type Response struct {
+	ID    int64  `json:"id"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+
+	Rows     []string `json:"rows,omitempty"`
+	RowCount int      `json:"row_count,omitempty"`
+	Text     string   `json:"text,omitempty"`
+
+	Work             float64 `json:"work,omitempty"`
+	Reopts           int     `json:"reopts,omitempty"`
+	CacheHit         bool    `json:"cache_hit,omitempty"`
+	CacheInvalidated bool    `json:"cache_invalidated,omitempty"`
+
+	// WaitNS is time spent queued in admission control; ElapsedNS is total
+	// server-side time including the wait.
+	WaitNS    int64 `json:"wait_ns,omitempty"`
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+}
+
+// errResponse builds a failure response, mapping known error types to their
+// wire codes.
+func errResponse(id int64, code string, err error) Response {
+	return Response{ID: id, OK: false, Error: err.Error(), Code: code}
+}

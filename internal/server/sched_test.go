@@ -1,0 +1,328 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWorkerBudgetCAS hammers the worker pool from many goroutines and
+// asserts the strict invariant: occupancy never exceeds the budget, and
+// everything acquired is released.
+func TestWorkerBudgetCAS(t *testing.T) {
+	s := NewScheduler(SchedConfig{WorkerBudget: 7})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				got := s.AcquireWorkers(3)
+				if got > 3 {
+					t.Error("granted more than asked")
+				}
+				s.ReleaseWorkers(got)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.WorkersOut != 0 {
+		t.Errorf("%d workers still outstanding", st.WorkersOut)
+	}
+	if st.PeakWorkers > 7 {
+		t.Errorf("peak %d exceeds budget 7", st.PeakWorkers)
+	}
+	if st.PeakWorkers == 0 {
+		t.Error("pool never used")
+	}
+}
+
+// TestAcquireClampsAndInline pins the grant ladder: full grant when free,
+// partial when constrained, zero (inline) when exhausted.
+func TestAcquireClampsAndInline(t *testing.T) {
+	s := NewScheduler(SchedConfig{WorkerBudget: 4})
+	if got := s.AcquireWorkers(3); got != 3 {
+		t.Fatalf("free pool granted %d, want 3", got)
+	}
+	if got := s.AcquireWorkers(3); got != 1 {
+		t.Fatalf("constrained pool granted %d, want 1", got)
+	}
+	if got := s.AcquireWorkers(3); got != 0 {
+		t.Fatalf("exhausted pool granted %d, want 0", got)
+	}
+	st := s.Stats()
+	if st.DOPClamps != 2 {
+		t.Errorf("clamps %d, want 2", st.DOPClamps)
+	}
+	if st.InlineRuns != 1 {
+		t.Errorf("inline runs %d, want 1", st.InlineRuns)
+	}
+	s.ReleaseWorkers(4)
+	if got := s.AcquireWorkers(2); got != 2 {
+		t.Fatalf("released pool granted %d, want 2", got)
+	}
+	s.ReleaseWorkers(2)
+}
+
+// TestAdviseDOP pins the planning-side advisor: it narrows to the free
+// budget, floors at 1, and never widens.
+func TestAdviseDOP(t *testing.T) {
+	s := NewScheduler(SchedConfig{WorkerBudget: 4})
+	if got := s.AdviseDOP(8); got != 4 {
+		t.Errorf("idle advise %d, want 4", got)
+	}
+	if got := s.AdviseDOP(3); got != 3 {
+		t.Errorf("under-budget advise %d, want 3", got)
+	}
+	s.AcquireWorkers(4)
+	if got := s.AdviseDOP(8); got != 1 {
+		t.Errorf("exhausted advise %d, want 1", got)
+	}
+	s.ReleaseWorkers(4)
+}
+
+// TestAdmitFIFOFairness fills every run slot, queues three waiters from
+// different sessions, and verifies slots hand over in arrival order.
+func TestAdmitFIFOFairness(t *testing.T) {
+	s := NewScheduler(SchedConfig{WorkerBudget: 4, RunSlots: 1, SessionQueue: 4})
+	rel, err := s.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 3
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	rels := make([]func(), waiters)
+	for i := 0; i < waiters; i++ {
+		// Sequential queue entry so arrival order is deterministic.
+		started := make(chan struct{})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			close(started)
+			r, err := s.Admit(context.Background(), string(rune('b'+i)))
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			rels[i] = r
+			order <- i
+		}(i)
+		<-started
+		// Wait until the waiter is actually queued before starting the next.
+		deadline := time.Now().Add(2 * time.Second)
+		for s.Stats().Queued != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	rel()
+	for i := 0; i < waiters; i++ {
+		got := <-order
+		if got != i {
+			t.Fatalf("slot %d handed to waiter %d, want FIFO", i, got)
+		}
+		rels[got]()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Running != 0 || st.Queued != 0 {
+		t.Errorf("running=%d queued=%d after all releases", st.Running, st.Queued)
+	}
+	if st.AdmissionWaits != waiters {
+		t.Errorf("admission waits %d, want %d", st.AdmissionWaits, waiters)
+	}
+	if st.MaxQueueDepth != waiters {
+		t.Errorf("max queue depth %d, want %d", st.MaxQueueDepth, waiters)
+	}
+}
+
+// TestBackpressurePerSession verifies one session cannot queue past its
+// allowance while a second session still can.
+func TestBackpressurePerSession(t *testing.T) {
+	s := NewScheduler(SchedConfig{WorkerBudget: 4, RunSlots: 1, SessionQueue: 2})
+	rel, err := s.Admit(context.Background(), "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Admit(ctx, "hog"); !errors.Is(err, context.Canceled) {
+				t.Errorf("queued waiter: %v, want context.Canceled at teardown", err)
+			}
+		}()
+		deadline := time.Now().Add(2 * time.Second)
+		for s.Stats().Queued != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatal("waiter never queued")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	_, err = s.Admit(context.Background(), "hog")
+	var bp *BackpressureError
+	if !errors.As(err, &bp) {
+		t.Fatalf("third queued query: %v, want BackpressureError", err)
+	}
+	if bp.Depth != 2 {
+		t.Errorf("backpressure depth %d, want 2", bp.Depth)
+	}
+
+	// A different session still has queue room.
+	done := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := s.Admit(ctx, "other")
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Queued != 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("other session's waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("other session: %v, want context.Canceled at teardown", err)
+	}
+	wg.Wait()
+	if got := s.Stats().Backpressure; got != 1 {
+		t.Errorf("backpressure count %d, want 1", got)
+	}
+}
+
+// TestAdmitContextAbandon cancels a queued admission and verifies the queue
+// entry is removed and the slot count stays consistent — including the race
+// where the slot is handed over concurrently with the cancellation.
+func TestAdmitContextAbandon(t *testing.T) {
+	s := NewScheduler(SchedConfig{WorkerBudget: 4, RunSlots: 1, SessionQueue: 8})
+	rel, err := s.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(ctx, "b")
+		errCh <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned admit: %v, want context.Canceled", err)
+	}
+	rel()
+	// The abandoned waiter must not have consumed the slot.
+	rel2, err := s.Admit(context.Background(), "c")
+	if err != nil {
+		t.Fatalf("slot lost to abandoned waiter: %v", err)
+	}
+	rel2()
+	st := s.Stats()
+	if st.Running != 0 || st.Queued != 0 {
+		t.Errorf("running=%d queued=%d, want 0/0", st.Running, st.Queued)
+	}
+}
+
+// TestDrain verifies the drain protocol: queued waiters wake with
+// ErrDraining, new admissions reject, and Drain returns once the last
+// in-flight query releases.
+func TestDrain(t *testing.T) {
+	s := NewScheduler(SchedConfig{WorkerBudget: 4, RunSlots: 1, SessionQueue: 4})
+	rel, err := s.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(context.Background(), "b")
+		queuedErr <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	if err := <-queuedErr; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter woke with %v, want ErrDraining", err)
+	}
+	if _, err := s.Admit(context.Background(), "c"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("new admission: %v, want ErrDraining", err)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned %v before the in-flight query finished", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	rel()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain never returned after the last release")
+	}
+}
+
+// TestDrainDeadline verifies Drain honors its context when an in-flight
+// query never finishes.
+func TestDrainDeadline(t *testing.T) {
+	s := NewScheduler(SchedConfig{WorkerBudget: 4, RunSlots: 1})
+	rel, err := s.Admit(context.Background(), "stuck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain with a stuck query: %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestReleaseIdempotent verifies double-calling a release function frees the
+// slot once.
+func TestReleaseIdempotent(t *testing.T) {
+	s := NewScheduler(SchedConfig{WorkerBudget: 4, RunSlots: 2})
+	rel, err := s.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel()
+	if got := s.Stats().Running; got != 0 {
+		t.Errorf("running %d after double release, want 0", got)
+	}
+}

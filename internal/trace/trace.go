@@ -60,6 +60,16 @@ const (
 	// Without it an abort mid-optimization leaves a dangling optimize_start
 	// and a consumer cannot tell a failed statement from a truncated trace.
 	QueryError Kind = "query_error"
+	// DOPClamp marks an exchange that asked the worker gate for its plan DOP
+	// and was granted less (payload: Sched; Granted 0 means the exchange ran
+	// inline on the caller's goroutine).
+	DOPClamp Kind = "dop_clamp"
+	// AdmissionWait marks a query that queued for an execution slot before
+	// admission (payload: Sched with WaitNS and the queue depth observed).
+	AdmissionWait Kind = "admission_wait"
+	// AdmissionReject marks a query turned away without queueing (payload:
+	// Sched with Reason "draining" or "backpressure").
+	AdmissionReject Kind = "admission_reject"
 )
 
 // CheckInfo is the payload of checkpoint events: the estimate the validity
@@ -141,6 +151,16 @@ type ErrInfo struct {
 	Error string `json:"error"`
 }
 
+// SchedInfo is the payload of scheduler events: DOP-clamp decisions
+// (Want/Granted) and admission outcomes (WaitNS/Depth/Reason).
+type SchedInfo struct {
+	Want    int    `json:"want,omitempty"`
+	Granted int    `json:"granted"`
+	WaitNS  int64  `json:"wait_ns,omitempty"`
+	Depth   int    `json:"depth,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+}
+
 // Event is one trace record. Query is the statement's full-subset signature
 // (or, for cache events, its normalized cache-key hash); Attempt numbers the
 // optimize→execute round the event belongs to, 0-based.
@@ -158,6 +178,7 @@ type Event struct {
 	Op     *OpInfo     `json:"op,omitempty"`
 	Done   *DoneInfo   `json:"done,omitempty"`
 	Err    *ErrInfo    `json:"error,omitempty"`
+	Sched  *SchedInfo  `json:"sched,omitempty"`
 }
 
 // Recorder receives events. Implementations must be safe for concurrent use:
