@@ -14,6 +14,8 @@
 //	popbench -batch               # batch-execution study → BENCH_batch.json
 //	popbench -server              # multi-client serving study → BENCH_server.json
 //	popbench -server -smoke       # shrunken serving study for CI
+//	popbench -planners            # planner shootout → BENCH_planners.json
+//	popbench -planners -smoke     # shrunken shootout for CI
 package main
 
 import (
@@ -48,11 +50,13 @@ func main() {
 		batchOut = flag.String("batchout", "BENCH_batch.json", "output path for the batch study JSON")
 		srv      = flag.Bool("server", false, "run the multi-client serving study (work identity + open/closed-loop load matrix)")
 		srvOut   = flag.String("serverout", "BENCH_server.json", "output path for the serving study JSON")
-		smoke    = flag.Bool("smoke", false, "shrink the serving study's load matrix (CI smoke)")
+		planners = flag.Bool("planners", false, "run the planner shootout (dp-pop vs greedy vs unguarded reopt across TPC-H, DMV, skew)")
+		planOut  = flag.String("plannersout", "BENCH_planners.json", "output path for the planner shootout JSON")
+		smoke    = flag.Bool("smoke", false, "shrink the serving and planner studies (CI smoke)")
 	)
 	flag.Parse()
 
-	if !*all && *fig == 0 && *table == 0 && !*parallel && !*pcache && !*obs && !*batch && !*srv {
+	if !*all && *fig == 0 && *table == 0 && !*parallel && !*pcache && !*obs && !*batch && !*srv && !*planners {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -233,6 +237,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *srvOut)
 	}
 
+	runPlanners := func() {
+		res, err := harness.PlannerStudy(loadTPCH(), *dmvScale, *smoke)
+		if err != nil {
+			fatal(err)
+		}
+		harness.WritePlanners(os.Stdout, res)
+		f, err := os.Create(*planOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WritePlannersJSON(f, res); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *planOut)
+	}
+
 	if *all {
 		harness.WriteTable1(os.Stdout)
 		fmt.Println()
@@ -248,6 +272,8 @@ func main() {
 		runBatch()
 		fmt.Println()
 		runServer()
+		fmt.Println()
+		runPlanners()
 		return
 	}
 	if *table == 1 {
@@ -273,6 +299,9 @@ func main() {
 	}
 	if *srv {
 		runServer()
+	}
+	if *planners {
+		runPlanners()
 	}
 }
 

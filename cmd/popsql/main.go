@@ -17,6 +17,8 @@
 // Shell commands:
 //
 //	\pop on|off     toggle progressive optimization
+//	\planner [NAME] show or set the planner strategy (dp-pop, greedy-pop,
+//	                greedy-only, reopt-unguarded); works in -connect mode too
 //	\explain SQL    show the plan (with validity ranges) without running
 //	\analyze SQL    EXPLAIN ANALYZE: run with POP and show, per attempt,
 //	                each operator's estimated vs actual rows, work and DOP
@@ -58,6 +60,10 @@ type session struct {
 	popOn bool
 	cache *plancache.Cache
 	reg   *metrics.Registry
+
+	// planner is the \planner-selected strategy; nil is the engine default
+	// (dp-pop).
+	planner pop.Strategy
 
 	traceFile *os.File
 	jsonl     *trace.JSONL
@@ -137,8 +143,10 @@ func main() {
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\pop`))
 			s.popOn = arg != "off"
 			fmt.Printf("POP is now %v\n", onOff(s.popOn))
+		case strings.HasPrefix(line, `\planner`):
+			s.plannerCmd(strings.TrimSpace(strings.TrimPrefix(line, `\planner`)))
 		case strings.HasPrefix(line, `\explain`):
-			explain(cat, strings.TrimSpace(strings.TrimPrefix(line, `\explain`)))
+			explain(cat, s.planner, strings.TrimSpace(strings.TrimPrefix(line, `\explain`)))
 		case strings.HasPrefix(line, `\analyze`):
 			s.analyze(strings.TrimSpace(strings.TrimPrefix(line, `\analyze`)))
 		default:
@@ -165,6 +173,9 @@ func connectREPL(addr string) {
 		fatal(err)
 	}
 	fmt.Printf("connected to %s\n", addr)
+	// planner is the strategy name sent with every query; the server resolves
+	// it, so an unknown name surfaces as a typed parse rejection.
+	planner := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("popsql> ")
@@ -174,6 +185,29 @@ func connectREPL(addr string) {
 		case line == "":
 		case line == `\q`:
 			return
+		case strings.HasPrefix(line, `\planner`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\planner`))
+			switch arg {
+			case "":
+				if planner == "" {
+					fmt.Println("planner: server default (dp-pop)")
+				} else {
+					fmt.Printf("planner: %s\n", planner)
+				}
+				for _, st := range pop.Strategies() {
+					fmt.Printf("  %-16s %s\n", st.Name(), st.Describe())
+				}
+			case "default":
+				planner = ""
+				fmt.Println("planner is now the server default (dp-pop)")
+			default:
+				if _, err := pop.StrategyByName(arg); err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				planner = arg
+				fmt.Printf("planner is now %s\n", planner)
+			}
 		case line == `\metrics`:
 			text, err := c.MetricsText()
 			if err != nil {
@@ -182,7 +216,7 @@ func connectREPL(addr string) {
 				fmt.Print(text)
 			}
 		default:
-			resp, err := c.Query(line)
+			resp, err := c.QueryPlanner(line, planner)
 			if err != nil {
 				fmt.Println("error:", err)
 				break
@@ -208,6 +242,37 @@ func connectREPL(addr string) {
 			}
 		}
 		fmt.Print("popsql> ")
+	}
+}
+
+// plannerCmd shows or sets the session's planner strategy. With no argument
+// it lists every strategy, marking the active one; "default" (or "dp-pop")
+// restores the engine default.
+func (s *session) plannerCmd(arg string) {
+	switch arg {
+	case "":
+		current := "dp-pop"
+		if s.planner != nil {
+			current = s.planner.Name()
+		}
+		for _, st := range pop.Strategies() {
+			marker := "  "
+			if st.Name() == current {
+				marker = "* "
+			}
+			fmt.Printf("%s%-16s %s\n", marker, st.Name(), st.Describe())
+		}
+	case "default":
+		s.planner = nil
+		fmt.Println("planner is now dp-pop (default)")
+	default:
+		st, err := pop.StrategyByName(arg)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		s.planner = st
+		fmt.Printf("planner is now %s\n", st.Name())
 	}
 }
 
@@ -258,19 +323,27 @@ func onOff(b bool) string {
 	return "OFF"
 }
 
-func explain(cat *catalog.Catalog, sql string) {
+func explain(cat *catalog.Catalog, planner pop.Strategy, sql string) {
 	q, err := sqlparse.Parse(cat, strings.TrimSuffix(sql, ";"))
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
+	// Resolve the session's planner strategy so the shown plan — and its
+	// checkpoint placement — matches what execute() would run.
+	opts := pop.DefaultOptions()
+	opts.Planner = planner
+	opts = opts.Resolve()
 	opt := optimizer.New(cat)
+	if opts.Configure != nil {
+		opts.Configure(opt)
+	}
 	plan, err := opt.Optimize(q)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	withChecks, n := pop.Place(plan, q, pop.DefaultPolicy())
+	withChecks, n := pop.Place(plan, q, opts.Policy)
 	fmt.Printf("-- plan (est cost %.0f, %d checkpoints):\n%s", plan.Cost, n, optimizer.Explain(withChecks, q))
 }
 
@@ -287,6 +360,7 @@ func (s *session) analyze(sql string) {
 	}
 	opts := pop.DefaultOptions()
 	opts.Enabled = s.popOn
+	opts.Planner = s.planner
 	opts.Analyze = true
 	opts.Trace = s.recorder()
 	res, err := pop.NewRunner(s.cat, opts).Run(q, nil)
@@ -316,6 +390,7 @@ func (s *session) execute(sql string) {
 	}
 	opts := pop.DefaultOptions()
 	opts.Enabled = s.popOn
+	opts.Planner = s.planner
 	opts.Trace = s.recorder()
 	res, info, err := plancache.NewRunner(s.cache, s.cat, opts).Run(q, nil)
 	if err != nil {

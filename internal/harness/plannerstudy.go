@@ -1,0 +1,484 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/dmv"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/plancache"
+	"repro/internal/pop"
+	"repro/internal/schema"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+// This file is the planner shootout (BENCH_planners.json): every built-in
+// pop.Strategy runs the TPC-H query set, the DMV correlation workload and a
+// new adversarial skew substrate (zipfian join keys + correlated predicates),
+// all through a per-strategy plan cache. The study reports, per strategy,
+// planning wall time and candidate counts on the TPC-H join queries plus
+// execution work, re-optimization counts and cache/guard verdicts per
+// workload — the data behind "which planner when" (DESIGN.md §13).
+
+// skewNumCats is the category-domain size of the skew substrate; the
+// correlated predicate pair (d_cat = c AND d_pop <= c) and the key-implied
+// category make the independence assumption mis-estimate scans and joins by
+// up to about this factor.
+const skewNumCats = 16
+
+// skewConfig sizes the adversarial skew substrate.
+type skewConfig struct {
+	dims  int
+	facts int
+	seed  int64
+}
+
+// skewSizes returns the substrate size for the study mode.
+func skewSizes(smoke bool) skewConfig {
+	if smoke {
+		// Large enough that plan costs clear the checkpoint floor
+		// (Policy.MinPlanCost), so the smoke run exercises re-optimization.
+		return skewConfig{dims: 1200, facts: 12000, seed: 23}
+	}
+	return skewConfig{dims: 4000, facts: 40000, seed: 23}
+}
+
+// loadSkew builds the adversarial skew substrate: a dimension table ZDIM, a
+// fact table ZFACT whose join key is drawn from a zipfian distribution over
+// the dimension ids (low ids are hot) and whose category is correlated with
+// the key (f_cat = f_key mod skewNumCats 90% of the time), and a tiny
+// category dimension ZCAT the queries route the fact side through.
+// Histograms see a mild key skew and independent-looking category columns;
+// the actual mass of the three-way join varies by orders of magnitude with
+// the binding — exactly the estimate-vs-actual gap adaptive strategies
+// differ on, and it crosses a checkpointable intermediate edge because the
+// mis-estimated two-way join feeds the third join rather than the root.
+func loadSkew(cat *catalog.Catalog, cfg skewConfig) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(cfg.dims-1))
+
+	zdim, err := cat.CreateTable("zdim", schema.New(
+		schema.Column{Name: "d_id", Type: types.KindInt},
+		schema.Column{Name: "d_cat", Type: types.KindInt},
+		schema.Column{Name: "d_pop", Type: types.KindFloat},
+	))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < cfg.dims; i++ {
+		zdim.Heap.MustInsert(schema.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % skewNumCats)),
+			// d_pop tracks the category: equi-depth histograms on d_cat and
+			// d_pop are each accurate alone, but their product is wildly off
+			// for the pair (d_cat = c AND d_pop <= c).
+			types.NewFloat(float64(i%skewNumCats) + rng.Float64() - 0.5),
+		})
+	}
+
+	zfact, err := cat.CreateTable("zfact", schema.New(
+		schema.Column{Name: "f_id", Type: types.KindInt},
+		schema.Column{Name: "f_key", Type: types.KindInt},
+		schema.Column{Name: "f_cat", Type: types.KindInt},
+		schema.Column{Name: "f_val", Type: types.KindFloat},
+	))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < cfg.facts; i++ {
+		key := int64(zipf.Uint64())
+		fcat := key % skewNumCats
+		if rng.Float64() >= 0.9 {
+			fcat = int64(rng.Intn(skewNumCats)) // the 10% that break the correlation
+		}
+		zfact.Heap.MustInsert(schema.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(key),
+			types.NewInt(fcat),
+			types.NewFloat(rng.Float64()),
+		})
+	}
+
+	zcat, err := cat.CreateTable("zcat", schema.New(
+		schema.Column{Name: "c_id", Type: types.KindInt},
+		schema.Column{Name: "c_name", Type: types.KindString},
+		schema.Column{Name: "c_rank", Type: types.KindInt},
+	))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < skewNumCats; i++ {
+		zcat.Heap.MustInsert(schema.Row{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("CAT_%02d", i)),
+			types.NewInt(int64(i % 4)),
+		})
+	}
+
+	for _, ix := range [][3]string{
+		{"zdim_id", "zdim", "d_id"},
+		{"zfact_key", "zfact", "f_key"},
+		{"zfact_cat", "zfact", "f_cat"},
+		{"zcat_id", "zcat", "c_id"},
+	} {
+		if _, err := cat.CreateBTreeIndex(ix[0], ix[1], ix[2]); err != nil {
+			return err
+		}
+	}
+	return cat.AnalyzeAll()
+}
+
+// skewCorrQuery is the correlated-predicate probe: COUNT(*) over the
+// three-way join zdim ⋈ zfact ⋈ zcat restricted by the correlated pair
+// d_cat = ?0 AND d_pop <= ?1 (bound to the same category value). The pair is
+// near-redundant — d_pop tracks d_cat — so the independence assumption
+// mis-estimates the zdim scan by up to ~8× in either direction depending on
+// the binding, and that scan is exactly where POP checkpoints (it is the
+// materialized outer of the index join into zfact). The zipfian key then
+// makes the downstream join mass per category wildly uneven, and the
+// unrestricted zcat dimension hangs off f_cat so the mis-estimated
+// intermediate crosses a second join edge instead of hiding at the root.
+func skewCorrQuery(cat *catalog.Catalog) (*logical.Query, error) {
+	b := logical.NewBuilder(cat)
+	b.AddTable("zdim", "d")
+	b.AddTable("zfact", "f")
+	b.AddTable("zcat", "c")
+	b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("d", "d_id"), R: b.Col("f", "f_key")})
+	b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("f", "f_cat"), R: b.Col("c", "c_id")})
+	b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("d", "d_cat"), R: b.Param(0)})
+	b.Where(&expr.Cmp{Op: expr.LE, L: b.Col("d", "d_pop"), R: b.Param(1)})
+	b.SelectAgg(logical.AggCount, nil, "n")
+	return b.Build()
+}
+
+// skewHotQuery is the hot-key range probe: total fact value per category
+// name for join keys up to a threshold. Small thresholds cover the zipf
+// head — a tiny key range carrying a huge share of the fact rows — so the
+// intermediate cardinality swings by orders of magnitude with the binding,
+// exercising the plan cache's validity guards across the sweep.
+func skewHotQuery(cat *catalog.Catalog) (*logical.Query, error) {
+	b := logical.NewBuilder(cat)
+	b.AddTable("zdim", "d")
+	b.AddTable("zfact", "f")
+	b.AddTable("zcat", "c")
+	b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("d", "d_id"), R: b.Col("f", "f_key")})
+	b.Where(&expr.Cmp{Op: expr.EQ, L: b.Col("f", "f_cat"), R: b.Col("c", "c_id")})
+	b.Where(&expr.Cmp{Op: expr.LE, L: b.Col("f", "f_key"), R: b.Param(0)})
+	b.SelectCol("c", "c_name")
+	b.SelectAgg(logical.AggSum, b.Col("f", "f_val"), "v")
+	b.GroupBy(b.Col("c", "c_name"))
+	return b.Build()
+}
+
+// PlannerWorkload aggregates one strategy's runs over one workload.
+type PlannerWorkload struct {
+	Workload      string  `json:"workload"`
+	Executions    int     `json:"executions"`
+	Rows          int     `json:"rows"`
+	ExecWork      float64 `json:"exec_work"`
+	Reopts        int     `json:"reopts"`
+	CacheHits     int     `json:"cache_hits"`
+	CacheMisses   int     `json:"cache_misses"`
+	Invalidations int     `json:"invalidations"`
+	GuardRejects  int64   `json:"guard_rejects"`
+	WallNS        int64   `json:"wall_ns"`
+}
+
+// PlannerStrategyResult is one strategy's row of the shootout: planning-time
+// measurements over the TPC-H join queries plus per-workload execution
+// aggregates.
+type PlannerStrategyResult struct {
+	Strategy       string            `json:"strategy"`
+	Description    string            `json:"description"`
+	PlanNS         int64             `json:"plan_ns"`
+	PlanRounds     int               `json:"plan_rounds"`
+	PlanQueries    int               `json:"plan_queries"`
+	PlanCandidates int               `json:"plan_candidates"`
+	Workloads      []PlannerWorkload `json:"workloads"`
+}
+
+// PlannerResult is the shootout output (BENCH_planners.json).
+type PlannerResult struct {
+	Smoke bool `json:"smoke"`
+	// JoinQueries lists the TPC-H queries (≥ 4 tables) the planning-time
+	// measurement runs over.
+	JoinQueries []string                `json:"tpch_join_queries"`
+	Strategies  []PlannerStrategyResult `json:"strategies"`
+	// PlanTimeRatioGreedyDP is greedy-pop planning time over dp-pop planning
+	// time on the join queries — the headline "greedy plans in a fraction of
+	// DP time" number.
+	PlanTimeRatioGreedyDP float64 `json:"greedy_vs_dp_plan_time_ratio"`
+	// PlanCandRatioGreedyDP is the same ratio in costed candidates — the
+	// wall-clock-independent form the regression test pins.
+	PlanCandRatioGreedyDP float64 `json:"greedy_vs_dp_candidate_ratio"`
+}
+
+// plannerExec is one statement execution of the shootout's workload script.
+type plannerExec struct {
+	q      *logical.Query
+	params []types.Datum
+}
+
+// plannerWorkloads builds the three workload scripts. Each script is a flat
+// execution list; two passes over each statement mix cold (miss) and warm
+// (hit or guard-reject) cache behavior.
+func plannerWorkloads(tpchCat, dmvCat, skewCat *catalog.Catalog, smoke bool) (map[string][]plannerExec, error) {
+	out := make(map[string][]plannerExec)
+
+	// TPC-H: the named query set plus the parameterized Q10 sweep.
+	tq, err := tpch.Queries(tpchCat)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(tq))
+	for n := range tq {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if smoke {
+		names = []string{"Q3", "Q5", "Q10"}
+	}
+	var tpchScript []plannerExec
+	for _, n := range names {
+		tpchScript = append(tpchScript, plannerExec{q: tq[n]})
+	}
+	q10, err := tpch.Q10Param(tpchCat)
+	if err != nil {
+		return nil, err
+	}
+	bindings := planCacheBindings()
+	if smoke {
+		bindings = bindings[:4]
+	}
+	for _, qty := range bindings {
+		tpchScript = append(tpchScript, plannerExec{q: q10, params: []types.Datum{types.NewFloat(qty)}})
+	}
+	out["tpch"] = doublePass(tpchScript)
+
+	// DMV: the correlated decision-support workload.
+	dq, err := dmv.Queries(dmvCat)
+	if err != nil {
+		return nil, err
+	}
+	if smoke && len(dq) > 6 {
+		dq = dq[:6]
+	}
+	var dmvScript []plannerExec
+	for _, qi := range dq {
+		dmvScript = append(dmvScript, plannerExec{q: qi.Query})
+	}
+	out["dmv"] = doublePass(dmvScript)
+
+	// Skew: the correlated-category sweep and the hot-key range sweep.
+	corr, err := skewCorrQuery(skewCat)
+	if err != nil {
+		return nil, err
+	}
+	hot, err := skewHotQuery(skewCat)
+	if err != nil {
+		return nil, err
+	}
+	cats := skewNumCats
+	thresholds := []int64{1, 4, 16, 64, 256, 1024, 4096}
+	if smoke {
+		cats = 4
+		thresholds = []int64{1, 16, 256}
+	}
+	var skewScript []plannerExec
+	for c := 0; c < cats; c++ {
+		skewScript = append(skewScript, plannerExec{q: corr,
+			params: []types.Datum{types.NewInt(int64(c)), types.NewFloat(float64(c))}})
+	}
+	maxKey := int64(skewSizes(smoke).dims)
+	for _, th := range thresholds {
+		if th > maxKey {
+			break
+		}
+		skewScript = append(skewScript, plannerExec{q: hot, params: []types.Datum{types.NewInt(th)}})
+	}
+	out["skew"] = doublePass(skewScript)
+	return out, nil
+}
+
+// doublePass repeats a script so every statement runs cold then warm.
+func doublePass(script []plannerExec) []plannerExec {
+	return append(append([]plannerExec(nil), script...), script...)
+}
+
+// plannerWorkloadNames is the fixed report order.
+var plannerWorkloadNames = []string{"tpch", "dmv", "skew"}
+
+// PlannerStudy runs the shootout: for every built-in strategy it measures
+// planning wall time over the TPC-H join queries (≥ 4 tables, plannRounds
+// fresh optimizations each) and then executes the three workloads through a
+// per-strategy plan cache, collecting execution work, re-optimization counts
+// and cache/guard verdicts. The TPC-H catalog is supplied by the caller (it
+// is shared with the other studies); the DMV and skew substrates are built
+// here at the given scale.
+func PlannerStudy(tpchCat *catalog.Catalog, dmvScale float64, smoke bool) (*PlannerResult, error) {
+	dmvCat := catalog.New()
+	if err := dmv.Load(dmvCat, dmv.Config{Scale: dmvScale, Seed: 17}); err != nil {
+		return nil, err
+	}
+	skewCat := catalog.New()
+	if err := loadSkew(skewCat, skewSizes(smoke)); err != nil {
+		return nil, err
+	}
+
+	// Planning-time set: the TPC-H queries with at least 4 tables, where the
+	// DP space is large enough that enumeration dominates planning.
+	tq, err := tpch.Queries(tpchCat)
+	if err != nil {
+		return nil, err
+	}
+	var joinNames []string
+	for n, q := range tq {
+		if len(q.Tables) >= 4 {
+			joinNames = append(joinNames, n)
+		}
+	}
+	sort.Strings(joinNames)
+	rounds := 25
+	if smoke {
+		rounds = 5
+	}
+
+	workloads, err := plannerWorkloads(tpchCat, dmvCat, skewCat, smoke)
+	if err != nil {
+		return nil, err
+	}
+	cats := map[string]*catalog.Catalog{"tpch": tpchCat, "dmv": dmvCat, "skew": skewCat}
+
+	res := &PlannerResult{Smoke: smoke, JoinQueries: joinNames}
+	for _, st := range pop.Strategies() {
+		row := PlannerStrategyResult{
+			Strategy:    st.Name(),
+			Description: st.Describe(),
+			PlanRounds:  rounds,
+			PlanQueries: len(joinNames),
+		}
+
+		// Planning: fresh optimizer per round so no memoized state carries
+		// over; only the Optimize call is timed.
+		for _, name := range joinNames {
+			q := tq[name]
+			for i := 0; i < rounds; i++ {
+				opt := newPlannerOptimizer(tpchCat, st)
+				t0 := time.Now()
+				if _, err := opt.Optimize(q); err != nil {
+					return nil, fmt.Errorf("planner study (%s, %s): %w", st.Name(), name, err)
+				}
+				row.PlanNS += time.Since(t0).Nanoseconds()
+				row.PlanCandidates += opt.EnumeratedCandidates
+			}
+		}
+
+		// Execution: one plan cache and one metrics registry per workload, so
+		// hits, invalidations and guard rejects are attributable.
+		for _, wname := range plannerWorkloadNames {
+			side := PlannerWorkload{Workload: wname}
+			cache := plancache.New()
+			reg := metrics.New()
+			opts := pop.DefaultOptions()
+			opts.Planner = st
+			opts.Trace = reg
+			runner := plancache.NewRunner(cache, cats[wname], opts)
+			start := time.Now()
+			for _, ex := range workloads[wname] {
+				r, _, err := runner.Run(ex.q, ex.params)
+				if err != nil {
+					return nil, fmt.Errorf("planner study (%s, %s): %w", st.Name(), wname, err)
+				}
+				side.Executions++
+				side.Rows += len(r.Rows)
+				side.ExecWork += r.Work
+				side.Reopts += r.Reopts
+			}
+			side.WallNS = time.Since(start).Nanoseconds()
+			cs := cache.Stats()
+			side.CacheHits, side.CacheMisses = cs.Hits, cs.Misses
+			side.Invalidations = cs.Invalidations
+			side.GuardRejects = reg.Snapshot().CacheGuardRejects
+			row.Workloads = append(row.Workloads, side)
+		}
+		res.Strategies = append(res.Strategies, row)
+	}
+
+	var dp, greedy *PlannerStrategyResult
+	for i := range res.Strategies {
+		switch res.Strategies[i].Strategy {
+		case "dp-pop":
+			dp = &res.Strategies[i]
+		case "greedy-pop":
+			greedy = &res.Strategies[i]
+		}
+	}
+	if dp != nil && greedy != nil && dp.PlanNS > 0 && dp.PlanCandidates > 0 {
+		res.PlanTimeRatioGreedyDP = float64(greedy.PlanNS) / float64(dp.PlanNS)
+		res.PlanCandRatioGreedyDP = float64(greedy.PlanCandidates) / float64(dp.PlanCandidates)
+	}
+	return res, nil
+}
+
+// newPlannerOptimizer builds a fresh optimizer configured for the strategy's
+// planning side only — the planning-time measurement's unit of work.
+func newPlannerOptimizer(cat *catalog.Catalog, st pop.Strategy) *optimizer.Optimizer {
+	opt := optimizer.New(cat)
+	st.PlanConfig(opt)
+	return opt
+}
+
+// WritePlannersJSON renders the shootout as indented JSON (BENCH_planners.json).
+func WritePlannersJSON(w io.Writer, r *PlannerResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WritePlanners renders the shootout as human-readable tables.
+func WritePlanners(w io.Writer, r *PlannerResult) {
+	fmt.Fprintf(w, "Planner shootout: %d strategies × %d workloads (smoke=%v)\n",
+		len(r.Strategies), len(plannerWorkloadNames), r.Smoke)
+	fmt.Fprintf(w, "planning over TPC-H join queries %v × %d rounds:\n",
+		r.JoinQueries, planRounds(r))
+	fmt.Fprintf(w, "  %-16s %12s %14s\n", "strategy", "plan_ms", "candidates")
+	for _, s := range r.Strategies {
+		fmt.Fprintf(w, "  %-16s %12.2f %14d\n", s.Strategy, float64(s.PlanNS)/1e6, s.PlanCandidates)
+	}
+	fmt.Fprintf(w, "greedy/dp: %.4f of planning time, %.4f of candidates\n",
+		r.PlanTimeRatioGreedyDP, r.PlanCandRatioGreedyDP)
+	for _, wname := range plannerWorkloadNames {
+		fmt.Fprintf(w, "workload %s:\n", wname)
+		fmt.Fprintf(w, "  %-16s %6s %14s %7s %6s %6s %6s %8s %9s\n",
+			"strategy", "execs", "exec_work", "reopts", "hits", "miss", "inval", "g_rejects", "wall_ms")
+		for _, s := range r.Strategies {
+			for _, side := range s.Workloads {
+				if side.Workload != wname {
+					continue
+				}
+				fmt.Fprintf(w, "  %-16s %6d %14.0f %7d %6d %6d %6d %8d %9.1f\n",
+					s.Strategy, side.Executions, side.ExecWork, side.Reopts,
+					side.CacheHits, side.CacheMisses, side.Invalidations,
+					side.GuardRejects, float64(side.WallNS)/1e6)
+			}
+		}
+	}
+}
+
+// planRounds returns the planning-round count recorded on the rows (they are
+// uniform; 0 if the study is empty).
+func planRounds(r *PlannerResult) int {
+	if len(r.Strategies) == 0 {
+		return 0
+	}
+	return r.Strategies[0].PlanRounds
+}

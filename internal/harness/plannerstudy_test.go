@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/tpch"
+)
+
+// TestGreedyCandidateRatio pins the shootout's planning-cost claim without
+// wall clocks: over the TPC-H join queries (≥ 4 tables) the greedy order
+// must enumerate at most a tenth of DP's candidates. Candidate counts are
+// deterministic, so this is the stable proxy for the ≤ 1/10 planning-time
+// bar BENCH_planners.json reports.
+func TestGreedyCandidateRatio(t *testing.T) {
+	cat := tpchCat(t)
+	qs, err := tpch.Queries(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dp, greedy int
+	for name, q := range qs {
+		if len(q.Tables) < 4 {
+			continue
+		}
+		o1 := optimizer.New(cat)
+		if _, err := o1.Optimize(q); err != nil {
+			t.Fatalf("%s dp: %v", name, err)
+		}
+		dp += o1.EnumeratedCandidates
+		o2 := optimizer.New(cat)
+		o2.JoinOrder = optimizer.JoinOrderGreedy
+		if _, err := o2.Optimize(q); err != nil {
+			t.Fatalf("%s greedy: %v", name, err)
+		}
+		greedy += o2.EnumeratedCandidates
+	}
+	if dp == 0 || greedy == 0 {
+		t.Fatalf("no candidates counted: dp=%d greedy=%d", dp, greedy)
+	}
+	if 10*greedy > dp {
+		t.Fatalf("greedy enumerated %d candidates vs DP's %d — more than 1/10th", greedy, dp)
+	}
+}
+
+// TestPlannerStudySmoke runs the smoke-scale shootout end to end and checks
+// the result shape the benchmark JSON depends on: all strategies, all
+// workloads, populated counters, and the greedy-vs-DP ratios.
+func TestPlannerStudySmoke(t *testing.T) {
+	res, err := PlannerStudy(tpchCat(t), 0.2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strategies) != 4 {
+		t.Fatalf("strategies = %d, want 4", len(res.Strategies))
+	}
+	if len(res.JoinQueries) == 0 {
+		t.Fatal("no TPC-H join queries selected for the planning set")
+	}
+	if !(res.PlanCandRatioGreedyDP > 0 && res.PlanCandRatioGreedyDP <= 0.1) {
+		t.Errorf("candidate ratio %v outside (0, 0.1]", res.PlanCandRatioGreedyDP)
+	}
+	if res.PlanTimeRatioGreedyDP <= 0 {
+		t.Errorf("plan-time ratio %v not positive", res.PlanTimeRatioGreedyDP)
+	}
+
+	byName := map[string]*PlannerStrategyResult{}
+	for i := range res.Strategies {
+		s := &res.Strategies[i]
+		byName[s.Strategy] = s
+		if len(s.Workloads) != 3 {
+			t.Fatalf("%s ran %d workloads, want 3", s.Strategy, len(s.Workloads))
+		}
+		if s.PlanNS <= 0 || s.PlanCandidates <= 0 {
+			t.Errorf("%s planning counters empty: ns=%d cand=%d", s.Strategy, s.PlanNS, s.PlanCandidates)
+		}
+		for _, w := range s.Workloads {
+			if w.Executions == 0 || w.ExecWork == 0 || w.Rows < 0 {
+				t.Errorf("%s/%s execution counters empty: %+v", s.Strategy, w.Workload, w)
+			}
+			if w.CacheMisses == 0 {
+				t.Errorf("%s/%s: a fresh cache must miss at least once", s.Strategy, w.Workload)
+			}
+		}
+	}
+
+	// The adaptive strategies must actually adapt somewhere, and greedy-only
+	// must never re-optimize (POP is off).
+	for _, name := range []string{"dp-pop", "greedy-pop", "reopt-unguarded"} {
+		var reopts int
+		for _, w := range byName[name].Workloads {
+			reopts += w.Reopts
+		}
+		if reopts == 0 {
+			t.Errorf("%s never re-optimized across any workload", name)
+		}
+	}
+	for _, w := range byName["greedy-only"].Workloads {
+		if w.Reopts != 0 {
+			t.Errorf("greedy-only re-optimized on %s: POP should be disabled", w.Workload)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WritePlannersJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back PlannerResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_planners.json round trip: %v", err)
+	}
+	var text bytes.Buffer
+	WritePlanners(&text, res)
+	for _, want := range []string{"dp-pop", "greedy-pop", "greedy-only", "reopt-unguarded", "tpch", "dmv", "skew"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q", want)
+		}
+	}
+}

@@ -1,16 +1,23 @@
 package lint
 
-import "strings"
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
 
 // DocCommentAnalyzer ports the standalone doc-lint test into the suite:
 // every package under internal/ and cmd/ must carry exactly one godoc
 // package comment, opening with the canonical "Package <name>" form
-// ("Command <name>" for main packages) so `go doc` renders it. Running it
-// as an analyzer puts package docs under cmd/poplint and the self-gate
+// ("Command <name>" for main packages) so `go doc` renders it, and every
+// exported package-level identifier needs a doc comment. A doc comment on a
+// const/var/type group covers all of its specs; methods are exempt (godoc
+// groups them under their documented receiver type). Running it as an
+// analyzer puts the documentation bar under cmd/poplint and the self-gate
 // instead of a separate CI step.
 var DocCommentAnalyzer = &Analyzer{
 	Name: "doccomment",
-	Doc:  "every internal/cmd package needs exactly one canonical godoc package comment",
+	Doc:  "internal/cmd packages need a canonical package comment and docs on exported identifiers",
 	Run:  runDocComment,
 }
 
@@ -42,6 +49,48 @@ func runDocComment(prog *Program, report ReportFunc) {
 		}
 		if documented == 0 && len(pkg.Files) > 0 {
 			report(pkg.Files[0].Package, "package %s has no godoc package comment", pkg.Files[0].Name.Name)
+		}
+		for _, file := range pkg.Files {
+			checkExportedDocs(file, report)
+		}
+	}
+}
+
+// checkExportedDocs flags exported package-level declarations without doc
+// comments. Methods are skipped: godoc renders them under the receiver
+// type, whose own doc the rule already demands.
+func checkExportedDocs(file *ast.File, report ReportFunc) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv != nil || !d.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "exported function %s has no doc comment", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Tok == token.IMPORT || d.Doc != nil {
+				continue // a group doc comment covers every spec
+			}
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && sp.Doc == nil {
+						report(sp.Pos(), "exported type %s has no doc comment", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if sp.Doc != nil {
+						continue
+					}
+					for _, n := range sp.Names {
+						if n.IsExported() {
+							report(n.Pos(), "exported %s %s has no doc comment (document it or its group)", d.Tok, n.Name)
+							break
+						}
+					}
+				}
+			}
 		}
 	}
 }

@@ -98,6 +98,7 @@ func TestGoldenFixtures(t *testing.T) {
 		{"atomicplain/good", "repro/internal/fixatomicgood"},
 		{"doccomment/bad", "repro/internal/fixdoc"},
 		{"doccomment/missing", "repro/internal/fixdocmissing"},
+		{"doccomment/exported", "repro/internal/fixdocexported"},
 		{"doccomment/good", "repro/internal/fixdocgood"},
 		{"goroutineleak/bad", "repro/internal/fixgoleak"},
 		{"goroutineleak/good", "repro/internal/fixgoleakgood"},

@@ -19,6 +19,7 @@ const (
 // EventKind classifies one entry in a function's ordered event stream.
 type EventKind int
 
+// The event kinds the lock-order replay distinguishes.
 const (
 	EvLock   EventKind = iota // mutex Lock/RLock
 	EvUnlock                  // mutex Unlock/RUnlock (non-deferred only)
@@ -40,6 +41,7 @@ type Event struct {
 // WGOpKind is a sync.WaitGroup operation.
 type WGOpKind int
 
+// The WaitGroup operations the leak rule pairs up.
 const (
 	WGAdd WGOpKind = iota
 	WGDone
@@ -58,6 +60,7 @@ type WGOp struct {
 // ChanOpKind is a channel operation.
 type ChanOpKind int
 
+// The channel operations the leak rule tracks per channel identity.
 const (
 	ChanSend ChanOpKind = iota
 	ChanRecv

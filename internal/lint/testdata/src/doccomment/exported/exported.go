@@ -1,0 +1,25 @@
+// Package fixdocexported is a poplint fixture: exported package-level
+// identifiers without doc comments, each marked where the rule reports.
+package fixdocexported
+
+func Exported() {} // want doccomment
+
+type Exposed struct{} // want doccomment
+
+// Receiver methods are exempt: godoc groups them under the (documented)
+// receiver type, so only the undocumented type itself fires above.
+func (Exposed) Method() {}
+
+var Loose = 1 // want doccomment
+
+const (
+	First  = 1 // want doccomment
+	second = 2
+)
+
+// unexported declarations need no docs.
+func hidden() {}
+
+var quiet int
+
+func init() { hidden(); quiet++; _ = second }

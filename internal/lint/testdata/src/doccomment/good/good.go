@@ -1,6 +1,25 @@
 // Package fixdocgood is a poplint fixture: the canonical single package
-// comment the doccomment rule must accept.
+// comment plus the documented-exported shapes the doccomment rule accepts.
 package fixdocgood
 
 // G exists so the file has a declaration.
 var G int
+
+// Do is a documented exported function.
+func Do() {}
+
+// Kind is a documented exported type.
+type Kind int
+
+// A group doc comment covers every exported spec inside the group.
+const (
+	KindA Kind = iota
+	KindB
+)
+
+// Undocumented methods are fine; the receiver type carries the docs.
+func (Kind) String() string { return "" }
+
+func helper() {} // unexported: no doc required
+
+var _ = helper

@@ -61,6 +61,12 @@ type Optimizer struct {
 	// to greedy left-deep enumeration.
 	GreedyThreshold int
 
+	// JoinOrder selects the join-ordering algorithm (see greedy.go). The
+	// default, JoinOrderAuto, is DP with a greedy fallback past
+	// GreedyThreshold; JoinOrderGreedy forces the statistics-free greedy
+	// chain regardless of table count.
+	JoinOrder JoinOrder
+
 	// ParamBindings, when non-empty, binds the query's parameter markers to
 	// these values for estimation only: the estimator sees `col <= 5` where
 	// the query says `col <= ?0`, so cardinalities come from histograms
@@ -162,9 +168,15 @@ func (o *Optimizer) Optimize(q *logical.Query) (*Plan, error) {
 	n := len(tabs)
 	full := uint64(1)<<uint(n) - 1
 	if n > 1 {
-		if n <= o.GreedyThreshold {
+		switch {
+		case o.JoinOrder == JoinOrderGreedy:
+			if err := pl.enumerateGreedyVisible(full); err != nil {
+				o.EnumeratedCandidates = pl.candidates
+				return nil, err
+			}
+		case n <= o.GreedyThreshold:
 			pl.enumerateDP(full)
-		} else {
+		default:
 			if err := pl.enumerateGreedy(full); err != nil {
 				o.EnumeratedCandidates = pl.candidates
 				return nil, err

@@ -272,7 +272,10 @@ func (c *Cache) Stats() Stats {
 // markers (?0, ?1, ...), so every binding of one prepared statement maps to
 // the same entry; table names, aliases, predicates, the select list, grouping,
 // ordering, DISTINCT and LIMIT all participate, so structurally different
-// statements never collide.
+// statements never collide. The caching runner additionally suffixes the key
+// with the planner-strategy name when one is set (see Runner.Run): plans from
+// different strategies are different plans, so the strategy is part of
+// cached-plan identity.
 func Key(q *logical.Query) string {
 	var b strings.Builder
 	b.WriteString("F{")

@@ -75,6 +75,11 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*pop.Result, ExecI
 	}
 
 	key := Key(q)
+	if r.Opts.Planner != nil {
+		// The strategy is part of cached-plan identity: a greedy plan must
+		// never serve a DP request (or vice versa), even for the same SQL.
+		key += "|planner=" + r.Opts.Planner.Name()
+	}
 	entry := r.Cache.Entry(key)
 	info := ExecInfo{Key: key}
 
@@ -86,7 +91,10 @@ func (r *Runner) Run(q *logical.Query, params []types.Datum) (*pop.Result, ExecI
 		return nil, info, err
 	}
 
-	opts := r.Opts
+	// Resolve folds a Planner strategy into Enabled/Policy/Configure so the
+	// miss and re-optimize paths below — which build their own optimizers —
+	// plan under the strategy too.
+	opts := r.Opts.Resolve()
 	opts.SharedFeedback = entry.Feedback
 	opts.BindParamEstimates = true
 

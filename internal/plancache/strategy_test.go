@@ -1,0 +1,57 @@
+package plancache
+
+import (
+	"testing"
+
+	"repro/internal/pop"
+)
+
+// TestStrategyPartitionsCache: the planner strategy is part of cached-plan
+// identity. Runners with different strategies sharing one cache must not
+// serve each other's plans — each strategy gets its own entry, and repeats
+// under the same strategy hit it.
+func TestStrategyPartitionsCache(t *testing.T) {
+	cat := correlatedFixture(t)
+	cache := New()
+
+	strategies := pop.Strategies()
+	for i, st := range strategies {
+		opts := pop.DefaultOptions()
+		opts.Planner = st
+		r := NewRunner(cache, cat, opts)
+
+		if _, info, err := r.Run(correlatedQuery(t, cat), nil); err != nil {
+			t.Fatalf("%s first run: %v", st.Name(), err)
+		} else if info.Hit {
+			t.Fatalf("%s first run hit a foreign strategy's plan", st.Name())
+		}
+		if _, info, err := r.Run(correlatedQuery(t, cat), nil); err != nil {
+			t.Fatalf("%s repeat run: %v", st.Name(), err)
+		} else if !info.Hit {
+			t.Fatalf("%s repeat run missed its own cached plan", st.Name())
+		}
+
+		if got := cache.Stats().Entries; got != i+1 {
+			t.Fatalf("after %s: %d entries, want %d (one per strategy)", st.Name(), got, i+1)
+		}
+	}
+
+	// The default runner (no strategy) uses the bare key: a fifth entry.
+	r := NewRunner(cache, cat, pop.DefaultOptions())
+	if _, info, err := r.Run(correlatedQuery(t, cat), nil); err != nil {
+		t.Fatal(err)
+	} else if info.Hit {
+		t.Fatal("strategy-less run hit a strategy-suffixed entry")
+	}
+	if got := cache.Stats().Entries; got != len(strategies)+1 {
+		t.Fatalf("strategy-less run should add its own entry: %d entries, want %d",
+			got, len(strategies)+1)
+	}
+	key := Key(correlatedQuery(t, cat))
+	if cache.Entry(key) == nil {
+		t.Error("bare key should map to the strategy-less entry")
+	}
+	if cache.Entry(key+"|planner=dp-pop") == nil {
+		t.Error("dp-pop key should map to its own entry")
+	}
+}

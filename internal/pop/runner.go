@@ -84,6 +84,15 @@ type Options struct {
 	// simulated work total bit-identical at every granted width. The server's
 	// scheduler supplies this; nil keeps the library's ungated spawning.
 	Gate executor.WorkerGate
+	// Planner selects the planner/adaptivity strategy (see strategy.go). Nil
+	// behaves exactly like DPPOP: the options run as written. Non-nil
+	// strategies are folded in by Resolve — NewRunner and the plan-cache
+	// runner both call it, so callers only set the field.
+	Planner Strategy
+
+	// plannerResolved marks that Resolve already folded Planner into
+	// Enabled/Policy/Configure, making a second Resolve a no-op.
+	plannerResolved bool
 }
 
 // DefaultOptions is POP as the paper's prototype defaults: enabled, LC+LCEM,
@@ -142,6 +151,7 @@ type Runner struct {
 
 // NewRunner returns a runner over the catalog with the given options.
 func NewRunner(cat *catalog.Catalog, opts Options) *Runner {
+	opts = opts.Resolve()
 	if opts.MaxReopts <= 0 {
 		opts.MaxReopts = 3
 	}

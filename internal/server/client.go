@@ -123,6 +123,12 @@ func (c *Client) Query(sql string, params ...ParamValue) (Response, error) {
 	return c.Do(Request{Op: OpQuery, SQL: sql, Params: params})
 }
 
+// QueryPlanner is Query with an explicit planner-strategy name (see
+// pop.Strategies); empty runs the server default.
+func (c *Client) QueryPlanner(sql, planner string, params ...ParamValue) (Response, error) {
+	return c.Do(Request{Op: OpQuery, SQL: sql, Params: params, Planner: planner})
+}
+
 // Ping round-trips the connection.
 func (c *Client) Ping() error {
 	resp, err := c.Do(Request{Op: OpPing})

@@ -60,12 +60,16 @@ func (p ParamValue) datum() (types.Datum, error) {
 	return types.Datum{}, fmt.Errorf("empty parameter value")
 }
 
-// Request is one client message.
+// Request is one client message. Planner optionally names the
+// planner/adaptivity strategy to run the query under (see pop.Strategies);
+// empty means the server default (dp-pop), and an unknown name is rejected
+// with CodeParse.
 type Request struct {
-	ID     int64        `json:"id"`
-	Op     string       `json:"op"`
-	SQL    string       `json:"sql,omitempty"`
-	Params []ParamValue `json:"params,omitempty"`
+	ID      int64        `json:"id"`
+	Op      string       `json:"op"`
+	SQL     string       `json:"sql,omitempty"`
+	Params  []ParamValue `json:"params,omitempty"`
+	Planner string       `json:"planner,omitempty"`
 }
 
 // Response is one server message. Work is the statement's simulated work in

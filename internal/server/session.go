@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/plancache"
+	"repro/internal/pop"
 	"repro/internal/sqlparse"
 	"repro/internal/types"
 )
@@ -39,6 +40,13 @@ func (s *Server) execQuery(ctx context.Context, session string, req Request) Res
 	}
 
 	opts := s.options()
+	if req.Planner != "" {
+		st, perr := pop.StrategyByName(req.Planner)
+		if perr != nil {
+			return errResponse(req.ID, CodeParse, perr)
+		}
+		opts.Planner = st
+	}
 	res, info, err := plancache.NewRunner(s.cache, s.cat, opts).Run(q, params)
 	if err != nil {
 		return errResponse(req.ID, CodeExec, err)
