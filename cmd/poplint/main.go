@@ -10,6 +10,17 @@
 //	go run ./cmd/poplint -json ./...    # machine-readable findings
 //	go run ./cmd/poplint -rules         # describe the analyzers and exit
 //
+//	go run ./cmd/poplint -pkg 'repro/internal/executor' ./...
+//	go run ./cmd/poplint -pkg '.../server/...' ./...
+//
+// -pkg restricts *reporting* to packages whose import path matches the
+// pattern ("..." matches any substring, Go-style), without shrinking the
+// analysis: the whole program named by the patterns is still loaded, so
+// whole-program rules (call-graph reachability, retain fixpoints, close
+// witnesses) keep their precision — only the findings are filtered. This is
+// what makes it safe for focused pre-commit runs: a clean filtered run over
+// a package means exactly what the full gate would say about that package.
+//
 // Each finding prints as "file:line: [rule] message"; -json emits the same
 // findings as a sorted JSON array (a stable, byte-identical encoding for a
 // given tree, for editor and CI integrations). Exit status is 0 when
@@ -23,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -31,6 +44,7 @@ func main() {
 	verbose := flag.Bool("v", false, "also print findings suppressed by //poplint:allow annotations")
 	jsonOut := flag.Bool("json", false, "emit findings as a sorted JSON array on stdout")
 	rules := flag.Bool("rules", false, "describe the analyzers and exit")
+	pkgPat := flag.String("pkg", "", "report only findings in packages whose import path matches this pattern (\"...\" wildcards); the full program is still analyzed")
 	flag.Parse()
 
 	if *rules {
@@ -62,6 +76,11 @@ func main() {
 	}
 
 	findings, suppressed := lint.Run(prog, lint.Analyzers(), lint.Options{})
+	if *pkgPat != "" {
+		keep := filesOfMatchingPackages(prog, *pkgPat)
+		findings = filterByFile(findings, keep)
+		suppressed = filterByFile(suppressed, keep)
+	}
 	cwd, _ := os.Getwd()
 	for i := range findings {
 		findings[i] = relativize(cwd, findings[i])
@@ -85,6 +104,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "poplint: %d finding(s) in %d package(s)\n", len(findings), len(prog.Packages))
 		os.Exit(1)
 	}
+}
+
+// filesOfMatchingPackages collects the source filenames of every loaded
+// package whose import path matches pattern.
+func filesOfMatchingPackages(prog *lint.Program, pattern string) map[string]bool {
+	keep := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		if !matchImportPath(pkg.Path, pattern) {
+			continue
+		}
+		for name := range pkg.Sources {
+			keep[name] = true
+		}
+	}
+	return keep
+}
+
+func filterByFile(fs []lint.Finding, keep map[string]bool) []lint.Finding {
+	out := fs[:0]
+	for _, f := range fs {
+		if keep[f.Pos.Filename] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// matchImportPath matches a Go-style package pattern against an import
+// path: "..." matches any (possibly empty) substring, and — as in the go
+// command — a "/..." can match nothing, so ".../server/..." matches
+// "repro/internal/server" itself, not just its subpackages. A pattern
+// without "..." must match the whole path exactly.
+func matchImportPath(path, pattern string) bool {
+	re := regexp.QuoteMeta(pattern)
+	if strings.HasSuffix(re, `/\.\.\.`) {
+		re = strings.TrimSuffix(re, `/\.\.\.`) + `(/.*)?`
+	}
+	if strings.HasPrefix(re, `\.\.\./`) {
+		re = `(.*/)?` + strings.TrimPrefix(re, `\.\.\./`)
+	}
+	re = strings.ReplaceAll(re, `/\.\.\./`, `(/.*)?/`)
+	re = strings.ReplaceAll(re, `\.\.\.`, `.*`)
+	ok, err := regexp.MatchString("^"+re+"$", path)
+	return err == nil && ok
 }
 
 // relativize rewrites the finding's filename relative to cwd when possible,

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// TestMatchImportPath pins the -pkg pattern grammar, including the go-command
+// convention that "/..." can match nothing, so a pattern like ".../server/..."
+// selects repro/internal/server itself and not just its subpackages.
+func TestMatchImportPath(t *testing.T) {
+	cases := []struct {
+		path, pattern string
+		want          bool
+	}{
+		{"repro/internal/executor", "repro/internal/executor", true},
+		{"repro/internal/executor", "repro/internal/exec", false},
+		{"repro/internal/executor", "...", true},
+		{"repro/internal/executor", "repro/...", true},
+		{"repro", "repro/...", true},
+		{"repro/internal/server", ".../server/...", true},
+		{"repro/internal/server/sub", ".../server/...", true},
+		{"repro/internal/serverless", ".../server/...", false},
+		{"repro/internal/server", ".../server", true},
+		{"repro/internal/executor", ".../server/...", false},
+		{"repro/internal/lint", "repro/.../lint", true},
+		{"repro/lint", "repro/.../lint", true},
+		{"other/internal/lint", "repro/...", false},
+		{"repro/internal/lint", "repro/internal/...", true},
+	}
+	for _, c := range cases {
+		if got := matchImportPath(c.path, c.pattern); got != c.want {
+			t.Errorf("matchImportPath(%q, %q) = %v, want %v", c.path, c.pattern, got, c.want)
+		}
+	}
+}

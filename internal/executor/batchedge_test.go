@@ -1,0 +1,132 @@
+package executor
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// scriptedNode is a row-path Node yielding a fixed script of rows followed
+// by an optional terminal error, for driving batchEdge's adapter directly.
+type scriptedNode struct {
+	rows []schema.Row
+	err  error
+	pos  int
+}
+
+func (s *scriptedNode) Open() error  { return nil }
+func (s *scriptedNode) Close() error { return nil }
+func (s *scriptedNode) Next() (schema.Row, bool, error) {
+	if s.pos < len(s.rows) {
+		r := s.rows[s.pos]
+		s.pos++
+		return r, true, nil
+	}
+	if s.err != nil {
+		return nil, false, s.err
+	}
+	return nil, false, nil
+}
+func (s *scriptedNode) Plan() *optimizer.Plan { return &optimizer.Plan{} }
+func (s *scriptedNode) Stats() *NodeStats     { return &NodeStats{} }
+func (s *scriptedNode) Children() []Node      { return nil }
+
+func intRow(v int64) schema.Row { return schema.Row{types.NewInt(v)} }
+
+// TestBatchEdgePartialBeforeError pins the adapter's error-holdback
+// contract: when the child errors with rows already buffered, the partial
+// batch is delivered first (mirroring the row path, where those rows were
+// already handed upward) and the error surfaces on the following pull.
+func TestBatchEdgePartialBeforeError(t *testing.T) {
+	boom := errors.New("boom")
+	child := &scriptedNode{rows: []schema.Row{intRow(1), intRow(2), intRow(3)}, err: boom}
+	be := &batchEdge{n: child, size: 8}
+
+	b, err := be.pull(8)
+	if err != nil {
+		t.Fatalf("first pull: unexpected error %v (rows must be delivered before the error)", err)
+	}
+	if b == nil || b.Len() != 3 {
+		t.Fatalf("first pull: got %v, want the 3 buffered rows", b)
+	}
+	if b.Rows[0][0].Int() != 1 || b.Rows[2][0].Int() != 3 {
+		t.Errorf("partial batch rows corrupted: %v", b.Rows)
+	}
+	if b.Ephemeral() {
+		t.Error("adapter-filled batches hold stable rows and must not be ephemeral")
+	}
+
+	if _, err := be.pull(8); !errors.Is(err, boom) {
+		t.Fatalf("second pull: err = %v, want the held-back child error", err)
+	}
+}
+
+// TestBatchEdgeImmediateError pins the complementary case: an error with no
+// rows buffered surfaces immediately, with no empty batch in between.
+func TestBatchEdgeImmediateError(t *testing.T) {
+	boom := errors.New("boom")
+	be := &batchEdge{n: &scriptedNode{err: boom}, size: 4}
+	b, err := be.pull(4)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want immediate child error", err)
+	}
+	if b != nil {
+		t.Errorf("batch = %v, want nil alongside the error", b)
+	}
+}
+
+// TestBatchEdgeEOSAfterPartial pins end-of-stream behavior: a short final
+// batch is followed by (nil, nil), and pulls after that stay (nil, nil).
+func TestBatchEdgeEOSAfterPartial(t *testing.T) {
+	child := &scriptedNode{rows: []schema.Row{intRow(1), intRow(2)}}
+	be := &batchEdge{n: child, size: 8}
+	b, err := be.pull(8)
+	if err != nil || b == nil || b.Len() != 2 {
+		t.Fatalf("first pull: b=%v err=%v, want 2 rows", b, err)
+	}
+	for i := 0; i < 2; i++ {
+		b, err = be.pull(8)
+		if err != nil || b != nil {
+			t.Fatalf("pull after EOS: b=%v err=%v, want (nil, nil)", b, err)
+		}
+	}
+}
+
+// TestAppendBatchRowsNonEphemeral pins the stable fast path: rows of a
+// non-ephemeral batch append by reference — same backing array, zero datum
+// copies — because stable rows are owned elsewhere and safe to retain.
+func TestAppendBatchRowsNonEphemeral(t *testing.T) {
+	b := NewBatch(3)
+	r1 := schema.Row{types.NewInt(1), types.NewInt(2)}
+	r2 := schema.Row{types.NewInt(3)}
+	b.Append(r1)
+	b.Append(r2)
+	if b.Ephemeral() {
+		t.Fatal("Append must not mark the batch ephemeral")
+	}
+
+	dst := make([]schema.Row, 0, 4)
+	dst = appendBatchRows(dst, b)
+	if len(dst) != 2 {
+		t.Fatalf("len(dst) = %d, want 2", len(dst))
+	}
+	if &dst[0][0] != &r1[0] || &dst[1][0] != &r2[0] {
+		t.Error("non-ephemeral rows must append by reference, not copy")
+	}
+
+	// Appending onto an existing prefix keeps prior rows intact.
+	prefix := []schema.Row{intRow(7)}
+	out := appendBatchRows(prefix, b)
+	if len(out) != 3 || out[0][0].Int() != 7 {
+		t.Errorf("prefix corrupted: %v", out)
+	}
+	// Mutating the source row is visible through dst: proof of aliasing,
+	// which is the documented contract for stable rows.
+	r1[0] = types.NewInt(42)
+	if dst[0][0].Int() != 42 {
+		t.Error("expected reference semantics for stable rows")
+	}
+}

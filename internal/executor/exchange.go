@@ -320,7 +320,7 @@ func runPartition(ctx context.Context, clone Node, ch chan<- rowMsg) {
 		// — same argument as the probe worker's error delivery. Racing it
 		// against ctx.Done would randomly drop a cancelled clone's Close
 		// error before the drain could retain it.
-		ch <- rowMsg{err: err}
+		ch <- rowMsg{err: err} //poplint:allow blockingcancel the consumer drains until the closer closes the channel, so this error delivery cannot wedge; a Done arm would race and drop the error
 	}
 }
 
@@ -359,7 +359,7 @@ func runPartitionBatched(ctx context.Context, ex *Executor, clone Node, ch chan<
 		err = cerr
 	}
 	if err != nil {
-		ch <- rowMsg{err: err}
+		ch <- rowMsg{err: err} //poplint:allow blockingcancel same drain invariant as runPartition: the consumer drains until close, so the unconditional error send cannot wedge
 	}
 }
 
@@ -1091,7 +1091,7 @@ func (n *parallelHSJNNode) runProbeWorker(w int) {
 		// goroutine closes it, so a blocking send cannot deadlock — whereas
 		// cancelling first would race this send against the closed Done
 		// channel and could drop the violation.
-		n.ch <- rowMsg{err: err}
+		n.ch <- rowMsg{err: err} //poplint:allow blockingcancel deliberate: deliver the error before cancel; the consumer drains until close, so this cannot wedge (see comment above)
 		n.cancel()
 	}
 }

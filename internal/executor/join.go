@@ -452,7 +452,7 @@ func (n *hsjnNode) NextBatch(max int) (*Batch, error) {
 		if !hasKey {
 			continue
 		}
-		n.curProbe = row
+		n.curProbe = row //poplint:allow batchescape probe cursor: drained into the output batch before the next pull replaces inBatch, so the alias never outlives its batch
 		n.curBucket, n.curIdx = n.table[h], 0
 	}
 	flush()

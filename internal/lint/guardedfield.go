@@ -1,0 +1,337 @@
+package lint
+
+// guardedfield infers each struct field's locking discipline by majority
+// vote, RacerD-style, and flags the minority: when at least 80% of a
+// field's access sites (and at least guardedFieldMinSites of them overall)
+// execute with one specific mutex class provably held, the remaining sites
+// are near-certain races — someone forgot the lock — rather than a
+// different discipline. Unlike the purely syntactic atomicplain rule, the
+// lock-set here is a flow-sensitive must-analysis over the CFG: a lock
+// released on one branch is not "held" after the join, a branch that
+// returns while holding keeps the fall-through path locked, and deferred
+// unlocks hold the lock to function exit.
+//
+// Two exemptions keep the vote honest:
+//
+//   - constructor sites: a function that builds the owning struct via a
+//     composite literal owns the only reference, so its unguarded accesses
+//     are not races and neither vote nor get flagged;
+//   - inherited locks: sites in a function whose every visible call site
+//     (including CHA-resolved interface dispatch) holds class L are treated
+//     as holding L — the xxxLocked-helper idiom. go-spawned functions
+//     inherit nothing: the spawner's locks are not held on the new
+//     goroutine.
+//
+// Fields of synchronization types (sync.*, sync/atomic.*, channels) are
+// exempt: they synchronize themselves.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GuardedFieldAnalyzer is the majority-vote lock-set inference rule.
+var GuardedFieldAnalyzer = &Analyzer{
+	Name: "guardedfield",
+	Doc:  "a field accessed ≥80% of sites under one mutex class must not be accessed outside it",
+	Run:  runGuardedField,
+}
+
+// guardedFieldMinSites is the minimum number of access sites before the
+// majority vote is statistically meaningful.
+const guardedFieldMinSites = 5
+
+// fieldSite is one access to a struct field with its must-held lock set.
+type fieldSite struct {
+	fn    *FuncNode
+	pos   token.Pos
+	held  lockSet
+	owner *types.TypeName // named type the selection went through
+}
+
+func runGuardedField(prog *Program, report ReportFunc) {
+	g := programGraph(prog)
+
+	sites := map[*types.Var][]*fieldSite{}
+	var fieldOrder []*types.Var
+	classNames := map[types.Object]string{}
+	// calleeHeld accumulates, per function, (caller, lock set) pairs for
+	// its visible call sites; the meet of (site set ∪ caller's inherited
+	// set) over all of them is what the function inherits.
+	type callerHeld struct {
+		caller *FuncNode
+		held   lockSet
+	}
+	calleeHeld := map[*FuncNode][]callerHeld{}
+	litsOf := map[*FuncNode][]*ast.CompositeLit{}
+
+	for _, fn := range g.sortedFuncs() {
+		if fn.Body == nil || fn.Pkg.Info == nil {
+			continue
+		}
+		scan := &lockScan{fn: fn, info: fn.Pkg.Info, classNames: classNames}
+		cfg := g.FuncCFG(fn)
+		ins := solveForwardMust(cfg, func(b *CFGBlock, in lockSet) lockSet {
+			scan.collect = false
+			for _, n := range b.Nodes {
+				scan.node(n, in)
+			}
+			return in
+		})
+		// Replay with collection on.
+		scan.collect = true
+		heldAt := map[token.Pos]lockSet{}
+		scan.onSite = func(field *types.Var, owner *types.TypeName, pos token.Pos, held lockSet) {
+			if _, seen := sites[field]; !seen {
+				fieldOrder = append(fieldOrder, field)
+			}
+			sites[field] = append(sites[field], &fieldSite{fn: fn, pos: pos, held: held.clone(), owner: owner})
+		}
+		scan.onCall = func(pos token.Pos, held lockSet) {
+			heldAt[pos] = held.clone()
+		}
+		scan.onLit = func(lit *ast.CompositeLit) {
+			litsOf[fn] = append(litsOf[fn], lit)
+		}
+		for _, b := range cfg.Blocks {
+			held := ins[b.Index]
+			if held == nil {
+				held = lockSet{}
+			} else {
+				held = held.clone()
+			}
+			for _, n := range b.Nodes {
+				scan.node(n, held)
+			}
+		}
+		for _, ev := range fn.Sum.Events {
+			if ev.Kind != EvCall {
+				continue
+			}
+			held, ok := heldAt[ev.Pos]
+			if !ok {
+				held = lockSet{}
+			}
+			for _, t := range ev.Targets {
+				calleeHeld[t] = append(calleeHeld[t], callerHeld{caller: fn, held: held})
+			}
+		}
+	}
+
+	// Inherited locks: meet of (call-site set ∪ caller's inherited set)
+	// over every visible call site, iterated so a helper called only by
+	// helpers inherits transitively. The round cap bounds pathological
+	// call-chain depth; real chains converge in two or three rounds.
+	inherited := map[*FuncNode]lockSet{}
+	for round := 0; round < 10; round++ {
+		changed := false
+		for _, fn := range g.Funcs {
+			calls := calleeHeld[fn]
+			if len(calls) == 0 {
+				continue
+			}
+			var met lockSet
+			for _, ch := range calls {
+				eff := ch.held.clone()
+				if eff == nil {
+					eff = lockSet{}
+				}
+				for c := range inherited[ch.caller] {
+					eff[c] = true
+				}
+				met, _ = met.meet(eff)
+			}
+			if !lockSetsEqual(inherited[fn], met) {
+				inherited[fn] = met
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// constructors: a function holding a composite literal of T owns fresh
+	// instances of T; its sites on T's fields do not vote.
+	constructs := func(fn *FuncNode, owner *types.TypeName) bool {
+		for _, lit := range litsOf[fn] {
+			tv, ok := fn.Pkg.Info.Types[lit]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if tn := namedTypeOf(tv.Type); tn == owner {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, field := range fieldOrder {
+		fs := sites[field]
+		var voting []*fieldSite
+		for _, s := range fs {
+			if constructs(s.fn, s.owner) {
+				continue
+			}
+			if inh := inherited[s.fn]; inh != nil {
+				for c := range inh {
+					s.held[c] = true
+				}
+			}
+			voting = append(voting, s)
+		}
+		n := len(voting)
+		if n < guardedFieldMinSites {
+			continue
+		}
+		counts := map[types.Object]int{}
+		var classOrder []types.Object
+		for _, s := range voting {
+			var cs []types.Object
+			for c := range s.held {
+				cs = append(cs, c)
+			}
+			sort.Slice(cs, func(i, j int) bool { return classNames[cs[i]] < classNames[cs[j]] })
+			for _, c := range cs {
+				if counts[c] == 0 {
+					classOrder = append(classOrder, c)
+				}
+				counts[c]++
+			}
+		}
+		var best types.Object
+		bestN := 0
+		for _, c := range classOrder {
+			if counts[c] > bestN {
+				best, bestN = c, counts[c]
+			}
+		}
+		if best == nil || bestN == n || bestN*5 < n*4 {
+			continue // fully consistent, or no ≥80% majority
+		}
+		for _, s := range voting {
+			if s.held[best] {
+				continue
+			}
+			report(s.pos, "field %s is guarded by %s at %d of %d sites, but not here; take the lock or document the discipline",
+				field.Name(), classNames[best], bestN, n)
+		}
+	}
+}
+
+// lockScan walks one CFG node, updating the held set at lock/unlock calls
+// and (in collect mode) emitting field sites and call-site lock sets, all
+// in source order.
+type lockScan struct {
+	fn         *FuncNode
+	info       *types.Info
+	classNames map[types.Object]string
+	collect    bool
+	onSite     func(field *types.Var, owner *types.TypeName, pos token.Pos, held lockSet)
+	onCall     func(pos token.Pos, held lockSet)
+	onLit      func(lit *ast.CompositeLit)
+}
+
+func (s *lockScan) node(n ast.Node, held lockSet) {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		// defer mu.Unlock() releases at exit: the lock stays held for the
+		// rest of the body, so deferred calls never mutate the set. The
+		// deferred expression also replays in the Exit block; skip both.
+		return
+	}
+	inspectNoLit(n, func(sub ast.Node) {
+		switch sub := sub.(type) {
+		case *ast.CallExpr:
+			s.call(sub, held)
+		case *ast.SelectorExpr:
+			s.field(sub, held)
+		case *ast.CompositeLit:
+			if s.collect && s.onLit != nil {
+				s.onLit(sub)
+			}
+		}
+	})
+}
+
+func (s *lockScan) call(call *ast.CallExpr, held lockSet) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	f, ok := s.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		if s.collect && s.onCall != nil {
+			s.onCall(call.Pos(), held)
+		}
+		return
+	}
+	pkgPath, typeName := methodRecv(f)
+	if pkgPath == "sync" && (typeName == "Mutex" || typeName == "RWMutex") {
+		w := &walker{pkg: s.fn.Pkg}
+		class, cname := w.classOf(sel.X)
+		if class == nil {
+			return
+		}
+		if _, ok := s.classNames[class]; !ok {
+			s.classNames[class] = cname
+		}
+		switch f.Name() {
+		case "Lock", "RLock":
+			held[class] = true
+		case "Unlock", "RUnlock":
+			delete(held, class)
+		}
+		return
+	}
+	if s.collect && s.onCall != nil {
+		s.onCall(call.Pos(), held)
+	}
+}
+
+func (s *lockScan) field(sel *ast.SelectorExpr, held lockSet) {
+	if !s.collect || s.onSite == nil {
+		return
+	}
+	selection, ok := s.info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || isSyncType(field.Type()) {
+		return
+	}
+	// Only module-declared fields participate; stdlib fields (time.Timer.C)
+	// follow their own disciplines.
+	if field.Pkg() == nil || !inScope(field.Pkg().Path(), []string{"repro"}) {
+		return
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	owner := namedTypeOf(recv)
+	if owner == nil {
+		return
+	}
+	s.onSite(field, owner, sel.Sel.Pos(), held)
+}
+
+// isSyncType reports types that synchronize themselves: sync.* and
+// sync/atomic.* values, channels, and context values.
+func isSyncType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if tn := namedTypeOf(t); tn != nil && tn.Pkg() != nil {
+		switch tn.Pkg().Path() {
+		case "sync", "sync/atomic", "context":
+			return true
+		}
+	}
+	return false
+}

@@ -42,7 +42,8 @@ const allowPrefix = "//poplint:allow"
 
 // Analyzers returns the full POP suite in reporting order: the four
 // intra-procedural rules from the original suite, the doc-comment gate,
-// and the four interprocedural rules built on the call graph.
+// the four interprocedural rules built on the call graph, and the three
+// dataflow rules built on the CFG layer.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -54,6 +55,9 @@ func Analyzers() []*Analyzer {
 		LockOrderAnalyzer,
 		ChargeFlowAnalyzer,
 		PoolLeakAnalyzer,
+		BatchEscapeAnalyzer,
+		BlockingCancelAnalyzer,
+		GuardedFieldAnalyzer,
 	}
 }
 

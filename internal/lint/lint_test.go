@@ -108,6 +108,12 @@ func TestGoldenFixtures(t *testing.T) {
 		{"chargeflow/good", "repro/internal/executor/fixchargegood"},
 		{"poolleak/bad", "repro/internal/server/fixpool"},
 		{"poolleak/good", "repro/internal/server/fixpoolgood"},
+		{"batchescape/bad", "repro/internal/executor/fixbatch"},
+		{"batchescape/good", "repro/internal/executor/fixbatchgood"},
+		{"blockingcancel/bad", "repro/internal/server/fixblock"},
+		{"blockingcancel/good", "repro/internal/server/fixblockgood"},
+		{"guardedfield/bad", "repro/internal/fixguard"},
+		{"guardedfield/good", "repro/internal/fixguardgood"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

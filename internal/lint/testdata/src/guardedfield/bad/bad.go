@@ -1,0 +1,107 @@
+// Package fixguard is a poplint fixture: fields with a clear majority
+// locking discipline and a minority site that skips the lock — near-certain
+// races that guardedfield must flag.
+package fixguard
+
+import "sync"
+
+// reg guards n with mu at four of five sites; peek forgot the lock.
+type reg struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *reg) inc() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+func (r *reg) dec() {
+	r.mu.Lock()
+	r.n--
+	r.mu.Unlock()
+}
+
+func (r *reg) get() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+func (r *reg) set(v int) {
+	r.mu.Lock()
+	r.n = v
+	r.mu.Unlock()
+}
+
+func (r *reg) add(v int) {
+	r.mu.Lock()
+	r.n += v
+	r.mu.Unlock()
+}
+
+func (r *reg) reset() {
+	r.mu.Lock()
+	r.n = 0
+	r.mu.Unlock()
+}
+
+func (r *reg) positive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n > 0
+}
+
+func (r *reg) peek() int {
+	return r.n // want guardedfield
+}
+
+// registry guards its map with an RWMutex everywhere except raw, which
+// leaks the map without any lock.
+type registry struct {
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+func (g *registry) add(k string, v int) {
+	g.rw.Lock()
+	g.m[k] = v
+	g.rw.Unlock()
+}
+
+func (g *registry) del(k string) {
+	g.rw.Lock()
+	delete(g.m, k)
+	g.rw.Unlock()
+}
+
+func (g *registry) lookup(k string) int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.m[k]
+}
+
+func (g *registry) size() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return len(g.m)
+}
+
+func (g *registry) raw() map[string]int {
+	return g.m // want guardedfield
+}
+
+// branchy releases on one branch before the access: the flow-sensitive
+// must-analysis knows the lock is not held at the join, so the site is a
+// genuine minority even though a Lock call appears earlier in the function.
+func (r *reg) branchy(early bool) int {
+	r.mu.Lock()
+	if early {
+		r.mu.Unlock()
+		return r.n // want guardedfield
+	}
+	v := r.n
+	r.mu.Unlock()
+	return v
+}

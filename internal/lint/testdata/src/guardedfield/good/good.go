@@ -1,0 +1,165 @@
+// Package fixguardgood is a poplint fixture: locking patterns the
+// guardedfield vote must accept — full consistency, no clear majority,
+// constructor initialization, and the xxxLocked helper whose callers all
+// hold the lock.
+package fixguardgood
+
+import "sync"
+
+// counter is fully consistent: every site holds mu.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) dec() {
+	c.mu.Lock()
+	c.n--
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) set(v int) {
+	c.mu.Lock()
+	c.n = v
+	c.mu.Unlock()
+}
+
+func (c *counter) swap(v int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.n
+	c.n = v
+	return old
+}
+
+// mixed has no ≥80% majority: three of five sites lock, two are
+// single-goroutine phases — two disciplines, not a forgotten lock.
+type mixed struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (m *mixed) a() {
+	m.mu.Lock()
+	m.v++
+	m.mu.Unlock()
+}
+
+func (m *mixed) b() {
+	m.mu.Lock()
+	m.v--
+	m.mu.Unlock()
+}
+
+func (m *mixed) c() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.v
+}
+
+func (m *mixed) initPhase() {
+	m.v = 0
+}
+
+func (m *mixed) loadPhase(v int) {
+	m.v = v
+}
+
+// pool initializes free in its constructor, where the builder owns the only
+// reference; those sites neither vote nor get flagged, and the remaining
+// sites are fully guarded.
+type pool struct {
+	mu   sync.Mutex
+	free []int
+}
+
+func newPool() *pool {
+	p := &pool{}
+	p.free = append(p.free, 1)
+	p.free = append(p.free, 2)
+	return p
+}
+
+func (p *pool) take() (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	v := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return v, true
+}
+
+func (p *pool) put(v int) {
+	p.mu.Lock()
+	p.free = append(p.free, v)
+	p.mu.Unlock()
+}
+
+func (p *pool) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// ledger drives bumpLocked only with the lock held: the helper's sites
+// inherit mu from every call site, keeping the vote fully consistent.
+type ledger struct {
+	mu  sync.Mutex
+	bal int
+}
+
+func (l *ledger) bumpLocked(v int) {
+	l.bal += v
+}
+
+func (l *ledger) deposit(v int) {
+	l.mu.Lock()
+	l.bumpLocked(v)
+	l.mu.Unlock()
+}
+
+func (l *ledger) withdraw(v int) {
+	l.mu.Lock()
+	l.bumpLocked(-v)
+	l.mu.Unlock()
+}
+
+func (l *ledger) balance() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bal
+}
+
+func (l *ledger) solvent() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bal >= 0
+}
+
+func (l *ledger) audit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v := l.bal
+	l.bumpLocked(0)
+	return v
+}
+
+func (l *ledger) reset() {
+	l.mu.Lock()
+	l.bal = 0
+	l.mu.Unlock()
+}

@@ -62,7 +62,7 @@ func (c *Client) readLoop() {
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- resp
+			ch <- resp //poplint:allow blockingcancel pending channels are buffered (cap 1) and receive exactly one response per ID, so this send never blocks
 		}
 	}
 	err := sc.Err()
