@@ -9,6 +9,7 @@
 //	go run ./cmd/poplint -v ./...       # also list suppressed findings
 //	go run ./cmd/poplint -json ./...    # machine-readable findings
 //	go run ./cmd/poplint -rules         # describe the analyzers and exit
+//	go run ./cmd/poplint -counts ./...  # per-rule tallies (CI summary)
 //
 //	go run ./cmd/poplint -pkg 'repro/internal/executor' ./...
 //	go run ./cmd/poplint -pkg '.../server/...' ./...
@@ -45,6 +46,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a sorted JSON array on stdout")
 	rules := flag.Bool("rules", false, "describe the analyzers and exit")
 	pkgPat := flag.String("pkg", "", "report only findings in packages whose import path matches this pattern (\"...\" wildcards); the full program is still analyzed")
+	counts := flag.Bool("counts", false, "print per-rule finding and suppression tallies on stderr, clean runs included")
 	flag.Parse()
 
 	if *rules {
@@ -100,8 +102,23 @@ func main() {
 			}
 		}
 	}
+	if *counts {
+		fmt.Fprintf(os.Stderr, "poplint: %d finding(s), %d suppressed, %d package(s)\n",
+			len(findings), len(suppressed), len(prog.Packages))
+		for _, rc := range lint.RuleCounts(findings) {
+			fmt.Fprintf(os.Stderr, "poplint:   %-16s %d\n", rc.Rule, rc.Count)
+		}
+		for _, rc := range lint.RuleCounts(suppressed) {
+			fmt.Fprintf(os.Stderr, "poplint:   %-16s %d suppressed\n", rc.Rule, rc.Count)
+		}
+	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "poplint: %d finding(s) in %d package(s)\n", len(findings), len(prog.Packages))
+		if !*counts {
+			fmt.Fprintf(os.Stderr, "poplint: %d finding(s) in %d package(s)\n", len(findings), len(prog.Packages))
+			for _, rc := range lint.RuleCounts(findings) {
+				fmt.Fprintf(os.Stderr, "poplint:   %-16s %d\n", rc.Rule, rc.Count)
+			}
+		}
 		os.Exit(1)
 	}
 }

@@ -860,7 +860,7 @@ func (n *parallelHSJNNode) inlineNextBatch() (*Batch, error) {
 	emitted := 0
 	charge := func() {
 		if emitted > 0 {
-			n.chargeInline(n.outT * int64(emitted))
+			n.chargeInline(mulTicksSat(n.outT, int64(emitted)))
 			emitted = 0
 		}
 	}
@@ -889,7 +889,7 @@ func (n *parallelHSJNNode) inlineNextBatch() (*Batch, error) {
 				}
 				return deliver(), nil
 			}
-			n.chargeInline(n.probeT * int64(b.Len()))
+			n.chargeInline(mulTicksSat(n.probeT, int64(b.Len())))
 			n.inBatch = b
 			n.inRowIdx = 0
 		}
@@ -978,9 +978,10 @@ func (n *parallelHSJNNode) runBuildWorker(w int, bufs [][]buildEntry, all *[]sch
 				if b == nil {
 					return nil
 				}
-				meter.AddTicks(rowT * int64(b.Len()))
+				t := mulTicksSat(rowT, int64(b.Len()))
+				meter.AddTicks(t)
 				if n.ex.Analyze {
-					awT += rowT * int64(b.Len())
+					awT += t
 				}
 				start := len(*all)
 				*all = appendBatchRows(*all, b)
@@ -1135,15 +1136,17 @@ func (n *parallelHSJNNode) runProbeWorkerBatched(clone Node, meter *Meter, probe
 			flush()
 			return nil
 		}
-		meter.AddTicks(probeT * int64(b.Len()))
+		t := mulTicksSat(probeT, int64(b.Len()))
+		meter.AddTicks(t)
 		if n.ex.Analyze {
-			*awT += probeT * int64(b.Len())
+			*awT += t
 		}
 		emitted := 0
 		charge := func() {
-			meter.AddTicks(outT * int64(emitted))
+			et := mulTicksSat(outT, int64(emitted))
+			meter.AddTicks(et)
 			if n.ex.Analyze {
-				*awT += outT * int64(emitted)
+				*awT += et
 			}
 		}
 		for _, row := range b.Rows {

@@ -472,7 +472,7 @@ func (b *base) chargeTicks(e *Executor, perRow int64, k int) {
 	if k <= 0 {
 		return
 	}
-	t := perRow * int64(k)
+	t := mulTicksSat(perRow, int64(k))
 	e.Meter.AddTicks(t)
 	if e.Analyze {
 		b.stats.Work += float64(t) / meterTick
@@ -482,6 +482,24 @@ func (b *base) chargeTicks(e *Executor, perRow int64, k int) {
 		}
 		b.stats.WallLastNS = now
 	}
+}
+
+// mulTicksSat multiplies a per-row tick rate by a row count, saturating at
+// MaxInt64 instead of wrapping. Tick rates and counts are non-negative in
+// every caller (Ticks quantizes non-negative cost weights; counts are batch
+// lengths), so saturation only engages at astronomically large products —
+// where a pinned meter is correct and a silently negative one would corrupt
+// every downstream guard comparison. Non-positive operands charge nothing.
+// The two separate guards keep each comparison branch-refinable, which is
+// how the lint value layer proves the product safe.
+func mulTicksSat(perRow, k int64) int64 {
+	if perRow <= 0 || k <= 0 {
+		return 0
+	}
+	if perRow > math.MaxInt64/k {
+		return math.MaxInt64
+	}
+	return perRow * k
 }
 
 func (b *base) closeChildren() error {

@@ -250,6 +250,9 @@ func (a *aggState) add(v types.Datum) {
 		if a.max.IsNull() || v.MustCompare(a.max) > 0 {
 			a.max = v
 		}
+	default:
+		// AggCount returned above; AggNone only needs the representative
+		// value captured by the seen check.
 	}
 }
 

@@ -1,0 +1,47 @@
+package executor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMulTicksSat pins the saturating multiply every metering hot path now
+// funnels through: exact products in range, MaxInt64 (never a wrapped
+// negative) past it, and zero for non-positive operands.
+func TestMulTicksSat(t *testing.T) {
+	cases := []struct {
+		perRow, k, want int64
+	}{
+		{0, 5, 0},
+		{5, 0, 0},
+		{-3, 7, 0},
+		{3, -7, 0},
+		{1, 1, 1},
+		{1000, 4096, 4096000},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{1, math.MaxInt64, math.MaxInt64},
+		{math.MaxInt64, 2, math.MaxInt64},
+		{math.MaxInt64/2 + 1, 2, math.MaxInt64},
+		{math.MaxInt64 / 2, 2, math.MaxInt64 - 1},
+		{3037000500, 3037000500, math.MaxInt64}, // ~sqrt(MaxInt64) squared wraps
+	}
+	for _, tc := range cases {
+		if got := mulTicksSat(tc.perRow, tc.k); got != tc.want {
+			t.Errorf("mulTicksSat(%d, %d) = %d, want %d", tc.perRow, tc.k, got, tc.want)
+		}
+		if got := mulTicksSat(tc.perRow, tc.k); got < 0 {
+			t.Errorf("mulTicksSat(%d, %d) went negative: %d", tc.perRow, tc.k, got)
+		}
+	}
+}
+
+// TestChargeTicksSaturates drives the chargeTicks path with a rate that
+// would wrap int64: the meter must pin at MaxInt64, not go negative.
+func TestChargeTicksSaturates(t *testing.T) {
+	e := &Executor{Meter: &Meter{}}
+	var b base
+	b.chargeTicks(e, math.MaxInt64/2, 3)
+	if got := e.Meter.ticks.Load(); got != math.MaxInt64 {
+		t.Fatalf("meter after saturating charge = %d, want MaxInt64", got)
+	}
+}

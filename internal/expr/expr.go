@@ -144,8 +144,9 @@ func (o CmpOp) Flip() CmpOp {
 		return LT
 	case GE:
 		return LE
+	default:
+		return o // EQ and NE are symmetric
 	}
-	return o
 }
 
 // Cmp compares two sub-expressions. NULL operands yield NULL (unknown).
@@ -391,6 +392,9 @@ func (a *Arith) Eval(ctx *Context, row schema.Row) (types.Datum, error) {
 			return types.NewInt(x - y), nil
 		case Mul:
 			return types.NewInt(x * y), nil
+		default:
+			// Div is excluded by the guard above (integer division promotes
+			// to float); fall through to the float path.
 		}
 	}
 	x, y := l.Float(), r.Float()

@@ -197,7 +197,7 @@ type PlannerWorkload struct {
 // measurements over the TPC-H join queries plus per-workload execution
 // aggregates.
 type PlannerStrategyResult struct {
-	Strategy       string            `json:"strategy"`
+	Strategy       pop.StrategyName  `json:"strategy"`
 	Description    string            `json:"description"`
 	PlanNS         int64             `json:"plan_ns"`
 	PlanRounds     int               `json:"plan_rounds"`
@@ -361,7 +361,7 @@ func PlannerStudy(tpchCat *catalog.Catalog, dmvScale float64, smoke bool) (*Plan
 	res := &PlannerResult{Smoke: smoke, JoinQueries: joinNames}
 	for _, st := range pop.Strategies() {
 		row := PlannerStrategyResult{
-			Strategy:    st.Name(),
+			Strategy:    pop.StrategyName(st.Name()),
 			Description: st.Describe(),
 			PlanRounds:  rounds,
 			PlanQueries: len(joinNames),
@@ -416,10 +416,12 @@ func PlannerStudy(tpchCat *catalog.Catalog, dmvScale float64, smoke bool) (*Plan
 	var dp, greedy *PlannerStrategyResult
 	for i := range res.Strategies {
 		switch res.Strategies[i].Strategy {
-		case "dp-pop":
+		case pop.NameDPPOP:
 			dp = &res.Strategies[i]
-		case "greedy-pop":
+		case pop.NameGreedyPOP:
 			greedy = &res.Strategies[i]
+		default:
+			// greedy-only and reopt-unguarded have no derived ratio row.
 		}
 	}
 	if dp != nil && greedy != nil && dp.PlanNS > 0 && dp.PlanCandidates > 0 {

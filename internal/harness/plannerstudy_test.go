@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/optimizer"
+	"repro/internal/pop"
 	"repro/internal/tpch"
 )
 
@@ -67,7 +68,7 @@ func TestPlannerStudySmoke(t *testing.T) {
 		t.Errorf("plan-time ratio %v not positive", res.PlanTimeRatioGreedyDP)
 	}
 
-	byName := map[string]*PlannerStrategyResult{}
+	byName := map[pop.StrategyName]*PlannerStrategyResult{}
 	for i := range res.Strategies {
 		s := &res.Strategies[i]
 		byName[s.Strategy] = s
@@ -89,7 +90,7 @@ func TestPlannerStudySmoke(t *testing.T) {
 
 	// The adaptive strategies must actually adapt somewhere, and greedy-only
 	// must never re-optimize (POP is off).
-	for _, name := range []string{"dp-pop", "greedy-pop", "reopt-unguarded"} {
+	for _, name := range []pop.StrategyName{pop.NameDPPOP, pop.NameGreedyPOP, pop.NameReoptUnguarded} {
 		var reopts int
 		for _, w := range byName[name].Workloads {
 			reopts += w.Reopts
@@ -98,7 +99,7 @@ func TestPlannerStudySmoke(t *testing.T) {
 			t.Errorf("%s never re-optimized across any workload", name)
 		}
 	}
-	for _, w := range byName["greedy-only"].Workloads {
+	for _, w := range byName[pop.NameGreedyOnly].Workloads {
 		if w.Reopts != 0 {
 			t.Errorf("greedy-only re-optimized on %s: POP should be disabled", w.Workload)
 		}

@@ -1,0 +1,2171 @@
+package lint
+
+// Abstract interpretation over the CFG: the value layer under the overflow,
+// nilguard and rangeinvariant rules. Per function, every tracked local gets
+// an abstract value from a product lattice:
+//
+//   - an int64 Interval (intervals.go) — also used for bools (0/1) and as a
+//     floor/ceil envelope for floats;
+//   - nilness: provably nil / provably non-nil / maybe nil / unknown;
+//   - a len interval for slices and maps;
+//   - may-evidence flags: "a path proves this exactly zero" (the divisor
+//     rule's trigger) and "tainted by an `err != nil` branch";
+//   - structural markers pairing a call's error result with its sibling
+//     results, so `x, err := f()` + `if err != nil` can consult f's value
+//     summary (summaryval.go) about x's nilness on the error path.
+//
+// States are solved by solveForwardVals (dataflow.go): branch conditions
+// refine facts per out-edge (`err != nil`, `x > 0`, `len(b) >= k`, the
+// `a > math.MaxInt64/b` overflow-guard idiom), loop heads widen. The rules
+// then replay each block from its solved in-state, collecting typed sites
+// (multiplications feeding tick sinks, divisions, dereferences, Range
+// literals, index expressions) with the abstract values in force there.
+//
+// Tracking discipline: only *types.Var locals, parameters and named results
+// of the function itself are tracked, and only while their address is never
+// taken and no closure captures them; everything else (fields, globals,
+// captured variables) evaluates to the type's top value. Soundness caveat
+// (shared with every interval analysis that does not model two's-complement
+// wrap): arithmetic is assumed not to overflow when computing ranges — the
+// overflow rule exists precisely to flag where that assumption is at risk.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+)
+
+// nilness is the pointer/interface/slice/map/chan/func component.
+type nilness uint8
+
+const (
+	nilUnknown nilness = iota // top: no information
+	nilYes                    // provably nil
+	nilNo                     // provably non-nil
+	nilMaybe                  // positive evidence it can be nil on some path
+)
+
+func joinNil(a, b nilness) nilness {
+	if a == b {
+		return a
+	}
+	if a == nilUnknown || b == nilUnknown {
+		return nilUnknown
+	}
+	return nilMaybe
+}
+
+// meetNil refines cur with the branch fact c (nilYes or nilNo); ok=false
+// reports a contradiction (the edge is infeasible).
+func meetNil(cur, c nilness) (nilness, bool) {
+	switch cur {
+	case nilUnknown, nilMaybe:
+		return c, true
+	case c:
+		return c, true
+	}
+	return cur, false // nilYes vs nilNo
+}
+
+// absVal flag bits. fZeroPath and fErrPath are may-evidence (OR'd at joins);
+// fErrObj/fResultObj mark the error result of a call pair and its siblings
+// and survive a join only when both sides agree on the pair.
+const (
+	fZeroPath  uint8 = 1 << iota // some path proves the value exactly zero
+	fErrPath                     // value tainted by an `err != nil` branch
+	fErrObj                      // object holds the error result of pair
+	fResultObj                   // object holds a non-error result of pair
+)
+
+// absVal is one variable's abstract value.
+type absVal struct {
+	iv    Interval
+	nl    nilness
+	flags uint8
+	pair  int32        // 1-based call-pair id for fErrObj/fResultObj; 0 = none
+	res   int16        // result index within the pair, for fResultObj
+	lenIv Interval     // slices/maps: abstract len
+	guard types.Object // partner proven safe to multiply by (MaxInt64/b idiom)
+}
+
+func topVal() absVal {
+	return absVal{iv: FullInterval(), nl: nilUnknown, lenIv: FullInterval()}
+}
+
+func (v absVal) isTop() bool { return v == topVal() }
+
+func joinVal(a, b absVal) absVal {
+	o := absVal{
+		iv:    a.iv.Join(b.iv),
+		lenIv: a.lenIv.Join(b.lenIv),
+		nl:    joinNil(a.nl, b.nl),
+		flags: (a.flags | b.flags) & (fZeroPath | fErrPath),
+	}
+	if a.pair == b.pair && a.res == b.res {
+		o.pair, o.res = a.pair, a.res
+		o.flags |= (a.flags & b.flags) & (fErrObj | fResultObj)
+	}
+	if a.guard != nil && a.guard == b.guard {
+		o.guard = a.guard
+	}
+	return o
+}
+
+func widenVal(prev, next absVal) absVal {
+	next.iv = prev.iv.Widen(next.iv)
+	next.lenIv = prev.lenIv.Widen(next.lenIv)
+	return next
+}
+
+// valState maps tracked objects to abstract values. A nil valState is the
+// solver's "unreachable"; a missing key is the object's top value. Stored
+// values are normalized: exact top values are deleted.
+type valState map[types.Object]absVal
+
+func (s valState) clone() valState {
+	c := make(valState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func (s valState) get(obj types.Object) (absVal, bool) {
+	v, ok := s[obj]
+	if !ok {
+		return topVal(), false
+	}
+	return v, true
+}
+
+func (s valState) set(obj types.Object, v absVal) {
+	if v.isTop() {
+		delete(s, obj)
+		return
+	}
+	s[obj] = v
+}
+
+// join returns the pointwise join of two states (missing key = top; results
+// equal to top are dropped).
+func (a valState) join(b valState) valState {
+	o := make(valState, len(a))
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			bv = topVal()
+		}
+		o.set(k, joinVal(av, bv))
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			o.set(k, joinVal(topVal(), bv))
+		}
+	}
+	return o
+}
+
+// widen applies interval widening pointwise: prev is the loop head's old
+// in-state, next the freshly joined one.
+func (prev valState) widen(next valState) valState {
+	o := make(valState, len(next))
+	for k, nv := range next {
+		pv, ok := prev[k]
+		if !ok {
+			pv = topVal()
+		}
+		o.set(k, widenVal(pv, nv))
+	}
+	return o
+}
+
+func valStatesEqual(a, b valState) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// --- type helpers --------------------------------------------------------
+
+func basicOf(t types.Type) *types.Basic {
+	if t == nil {
+		return nil
+	}
+	b, _ := t.Underlying().(*types.Basic)
+	return b
+}
+
+func isIntType(t types.Type) bool {
+	b := basicOf(t)
+	return b != nil && b.Info()&types.IsInteger != 0
+}
+
+func isFloatType(t types.Type) bool {
+	b := basicOf(t)
+	return b != nil && b.Info()&types.IsFloat != 0
+}
+
+// basicRange is the value interval of a basic type: sized integers get
+// their exact range, unsigned 64-bit the non-negative half, booleans 0/1.
+func basicRange(b *types.Basic) Interval {
+	switch b.Kind() {
+	case types.Bool, types.UntypedBool:
+		return Interval{0, 1}
+	case types.Int8:
+		return typeRange(8, true)
+	case types.Int16:
+		return typeRange(16, true)
+	case types.Int32, types.UntypedRune:
+		return typeRange(32, true)
+	case types.Uint8:
+		return typeRange(8, false)
+	case types.Uint16:
+		return typeRange(16, false)
+	case types.Uint32:
+		return typeRange(32, false)
+	case types.Uint, types.Uint64, types.Uintptr:
+		return Interval{0, math.MaxInt64}
+	}
+	return FullInterval()
+}
+
+// isNilable reports types whose zero value is nil.
+func isNilable(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// topForType is the no-information value of a type: full intervals clipped
+// to the type's representable range.
+func topForType(t types.Type) absVal {
+	v := topVal()
+	if b := basicOf(t); b != nil {
+		v.iv = basicRange(b)
+	}
+	return v
+}
+
+// zeroValOf abstracts a type's zero value (var declarations without
+// initializer, named results at entry).
+func zeroValOf(t types.Type) absVal {
+	v := topForType(t)
+	if t == nil {
+		return v
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch {
+		case u.Info()&(types.IsInteger|types.IsFloat) != 0:
+			v.iv = ConstInterval(0)
+			v.flags |= fZeroPath
+		case u.Info()&types.IsBoolean != 0:
+			v.iv = ConstInterval(0)
+		}
+	case *types.Slice, *types.Map:
+		v.nl = nilYes
+		v.lenIv = ConstInterval(0)
+	case *types.Pointer, *types.Chan, *types.Signature, *types.Interface:
+		v.nl = nilYes
+	}
+	return v
+}
+
+// constToVal abstracts a typed or untyped constant.
+func constToVal(cv constant.Value, t types.Type) absVal {
+	v := topForType(t)
+	switch cv.Kind() {
+	case constant.Int:
+		if i, exact := constant.Int64Val(cv); exact {
+			v.iv = ConstInterval(i)
+		} else if constant.Sign(cv) > 0 {
+			v.iv = Interval{math.MaxInt64, math.MaxInt64}
+		} else {
+			v.iv = Interval{math.MinInt64, math.MinInt64}
+		}
+	case constant.Float:
+		f, _ := constant.Float64Val(cv)
+		v.iv = floatInterval(f)
+	case constant.Bool:
+		if constant.BoolVal(cv) {
+			v.iv = ConstInterval(1)
+		} else {
+			v.iv = ConstInterval(0)
+		}
+	case constant.String:
+		v.lenIv = ConstInterval(int64(len(constant.StringVal(cv))))
+	}
+	if v.iv == ConstInterval(0) && cv.Kind() != constant.Bool && cv.Kind() != constant.String {
+		v.flags |= fZeroPath
+	}
+	return v
+}
+
+// floatInterval envelopes a float64 in an integer interval ([floor, ceil],
+// with infinities and huge magnitudes pinned to the sentinels).
+func floatInterval(f float64) Interval {
+	const lim = float64(math.MaxInt64) // 2^63; anything ≥ is sentinel land
+	switch {
+	case math.IsNaN(f):
+		return FullInterval()
+	case f >= lim:
+		return Interval{math.MaxInt64, math.MaxInt64}
+	case f <= -lim:
+		return Interval{math.MinInt64, math.MinInt64}
+	}
+	return Interval{int64(math.Floor(f)), int64(math.Ceil(f))}
+}
+
+// --- collected sites -----------------------------------------------------
+
+// derefKind classifies one dereference site for the nilguard rule. Pointer
+// method calls with pointer receivers are deliberately NOT sites: the
+// nil-receiver method is a supported Go idiom (Meter, trace recorders).
+type derefKind uint8
+
+const (
+	derefField     derefKind = iota // p.f field read/write through a pointer
+	derefStar                       // *p
+	derefIndex                      // s[i] on a slice
+	derefMapWrite                   // m[k] = v on a map
+	derefIfaceCall                  // x.M() through an interface value
+	derefFuncCall                   // f() through a func value
+)
+
+func (k derefKind) String() string {
+	switch k {
+	case derefField:
+		return "field access"
+	case derefStar:
+		return "dereference"
+	case derefIndex:
+		return "index"
+	case derefMapWrite:
+		return "map write"
+	case derefIfaceCall:
+		return "interface method call"
+	case derefFuncCall:
+		return "call"
+	}
+	return "use"
+}
+
+type mulAddSite struct {
+	pos    token.Pos
+	op     token.Token // token.MUL or token.ADD
+	xs, ys string      // rendered operands
+	xv, yv absVal
+	sink   bool // value feeds Meter.AddTicks or a sink parameter
+	guard  bool // a dominating a > MaxInt64/b comparison proved the pair safe
+}
+
+type divSite struct {
+	pos    token.Pos
+	op     token.Token // token.QUO or token.REM
+	divStr string
+	dv     absVal
+	intOp  bool // integer division (panics on zero) vs float (silent ±Inf)
+}
+
+type derefSite struct {
+	pos  token.Pos
+	name string
+	kind derefKind
+	v    absVal
+}
+
+type rangeLitSite struct {
+	pos      token.Pos
+	typeName string
+	loV, hiV absVal
+	loS, hiS string
+}
+
+type indexSite struct {
+	pos    token.Pos
+	idxS   string
+	baseS  string
+	idxV   absVal
+	lenHi  int64 // best proven upper bound on len(base)
+	hasLen bool
+}
+
+// valueSites is everything one function's replay collected.
+type valueSites struct {
+	mulAdds []mulAddSite
+	divs    []divSite
+	derefs  []derefSite
+	ranges  []rangeLitSite
+	indexes []indexSite
+}
+
+// returnFact is one evaluated return site, for summary building.
+type returnFact struct {
+	vals []absVal
+	// params[i] is the parameter index result i returned verbatim, or -1.
+	params []int
+}
+
+// --- the interpreter -----------------------------------------------------
+
+// callPair records one `x, ..., err := f(...)` assignment: the statically
+// resolved callee and the LHS objects, so an `err != nil` refinement can
+// consult f's value summary about the sibling results.
+type callPair struct {
+	id     int32
+	callee *types.Func
+	objs   []types.Object // one per LHS, nil for untracked/blank
+	errIdx int            // index of the error result within objs
+}
+
+// interp is the per-function abstract interpreter: prescan products
+// (trackability, sinks, call pairs) plus the transfer/refine/eval machinery.
+type interp struct {
+	va   *valueAnalysis
+	fn   *FuncNode
+	pkg  *Package
+	info *types.Info
+
+	owned    map[types.Object]bool // declared by this function (params/results/locals)
+	unstable map[types.Object]bool // address taken or captured by a literal
+	sinkObjs map[types.Object]bool // value flows into a tick sink (syntactic)
+	pairs    map[*ast.AssignStmt]*callPair
+	pairByID []*callPair
+
+	namedResults []types.Object // named result objects, entry-seeded
+
+	// replay hooks; nil while solving
+	sites *valueSites
+	rets  *[]returnFact
+
+	// dead is set by step when a no-return call (panic, os.Exit, log.Fatal)
+	// executes: the rest of the block and its out-edges are unreachable.
+	dead bool
+}
+
+func newInterp(va *valueAnalysis, fn *FuncNode) *interp {
+	ip := &interp{
+		va:       va,
+		fn:       fn,
+		pkg:      fn.Pkg,
+		info:     fn.Pkg.Info,
+		owned:    map[types.Object]bool{},
+		unstable: map[types.Object]bool{},
+		sinkObjs: map[types.Object]bool{},
+		pairs:    map[*ast.AssignStmt]*callPair{},
+	}
+	ip.prescan()
+	if s := va.sinkObjsByFn[fn]; s != nil {
+		ip.sinkObjs = s
+	}
+	return ip
+}
+
+// signature returns the function's type signature (declared or literal).
+func (ip *interp) signature() *types.Signature {
+	if ip.fn.Obj != nil {
+		sig, _ := ip.fn.Obj.Type().(*types.Signature)
+		return sig
+	}
+	if ip.fn.Lit != nil {
+		sig, _ := ip.info.TypeOf(ip.fn.Lit).(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// prescan runs once per function: ownership (params, results, locals),
+// stability (no address-taken, no closure capture), call pairs. Tick-sink
+// seeds are recomputed separately by the sink fixpoint (summaryval.go).
+func (ip *interp) prescan() {
+	sig := ip.signature()
+	if sig != nil {
+		own := func(tup *types.Tuple) {
+			for i := 0; i < tup.Len(); i++ {
+				ip.owned[tup.At(i)] = true
+			}
+		}
+		own(sig.Params())
+		own(sig.Results())
+		if r := sig.Recv(); r != nil {
+			ip.owned[r] = true
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if v := sig.Results().At(i); v.Name() != "" && v.Name() != "_" {
+				ip.namedResults = append(ip.namedResults, v)
+			}
+		}
+	}
+	if ip.fn.Body == nil {
+		return
+	}
+	// Locals: every Defs entry inside the body (but not inside nested
+	// literals — those belong to the literal's own node).
+	inspectNoLit(ip.fn.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := ip.info.Defs[n]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					ip.owned[obj] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := unparen(n.X).(*ast.Ident); ok {
+					if obj := ip.objOf(id); obj != nil {
+						ip.unstable[obj] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// inspectNoLit does not descend; capture detection below does.
+		case *ast.AssignStmt:
+			ip.prescanPair(n)
+		}
+	})
+	// Closure capture: any owned object referenced inside a nested literal
+	// can change behind the analysis's back (or observe stale facts).
+	ast.Inspect(ip.fn.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := ip.objOf(id); obj != nil && ip.owned[obj] {
+					ip.unstable[obj] = true
+				}
+			}
+			return true
+		})
+		return false
+	})
+}
+
+// prescanPair registers `x, ..., err := f(...)` assignments whose callee is
+// statically known and whose last LHS is error-typed.
+func (ip *interp) prescanPair(as *ast.AssignStmt) {
+	if len(as.Lhs) < 2 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	w := &walker{pkg: ip.pkg}
+	callee := w.staticCallee(call)
+	if callee == nil {
+		return
+	}
+	last := unparen(as.Lhs[len(as.Lhs)-1])
+	lastID, ok := last.(*ast.Ident)
+	if !ok {
+		return
+	}
+	lastObj := ip.objOf(lastID)
+	if lastObj == nil || !isErrorType(lastObj.Type()) {
+		return
+	}
+	p := &callPair{
+		id:     int32(len(ip.pairByID) + 1),
+		callee: callee,
+		errIdx: len(as.Lhs) - 1,
+	}
+	for _, l := range as.Lhs {
+		if id, ok := unparen(l).(*ast.Ident); ok && id.Name != "_" {
+			p.objs = append(p.objs, ip.objOf(id))
+		} else {
+			p.objs = append(p.objs, nil)
+		}
+	}
+	ip.pairs[as] = p
+	ip.pairByID = append(ip.pairByID, p)
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// objOf resolves an identifier to its object (use or def).
+func (ip *interp) objOf(id *ast.Ident) types.Object {
+	if obj := ip.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return ip.info.Defs[id]
+}
+
+// tracked reports whether obj participates in the state: a variable this
+// function declared whose address is never taken and which no literal
+// captures.
+func (ip *interp) tracked(obj types.Object) bool {
+	if obj == nil || !ip.owned[obj] || ip.unstable[obj] {
+		return false
+	}
+	_, isVar := obj.(*types.Var)
+	return isVar
+}
+
+// entryState seeds the function entry: named results hold their zero values.
+func (ip *interp) entryState() valState {
+	st := valState{}
+	for _, r := range ip.namedResults {
+		if ip.tracked(r) {
+			st.set(r, zeroValOf(r.Type()))
+		}
+	}
+	return st
+}
+
+// identTarget unwraps parens and numeric conversions down to a tracked
+// identifier's object, for guard bookkeeping.
+func (ip *interp) identTarget(e ast.Expr) types.Object {
+	for {
+		e = unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			if tv, ok := ip.info.Types[call.Fun]; ok && tv.IsType() {
+				e = call.Args[0]
+				continue
+			}
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := ip.objOf(id)
+	if !ip.tracked(obj) {
+		return nil
+	}
+	return obj
+}
+
+// --- transfer ------------------------------------------------------------
+
+// step interprets one CFG node, mutating st. During replay (ip.sites or
+// ip.rets non-nil) it also records sites and return facts.
+func (ip *interp) step(st valState, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		ip.assign(st, n)
+	case *ast.IncDecStmt:
+		v := ip.eval(st, n.X, false)
+		one := ConstInterval(1)
+		if n.Tok == token.DEC {
+			one = ConstInterval(-1)
+		}
+		if obj := ip.identTarget(n.X); obj != nil {
+			nv := topForType(obj.Type())
+			nv.iv = v.iv.Add(one)
+			ip.setObj(st, obj, nv)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			var vals []absVal
+			for _, v := range vs.Values {
+				vals = append(vals, ip.eval(st, v, false))
+			}
+			for i, name := range vs.Names {
+				obj := ip.info.Defs[name]
+				if obj == nil || name.Name == "_" {
+					continue
+				}
+				switch {
+				case len(vs.Values) == 0:
+					ip.setObj(st, obj, zeroValOf(obj.Type()))
+				case i < len(vals) && len(vs.Values) == len(vs.Names):
+					ip.setObj(st, obj, vals[i])
+				default: // tuple form var a, b = f()
+					ip.setObj(st, obj, topForType(obj.Type()))
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		ip.eval(st, n.X, false)
+		if call, ok := unparen(n.X).(*ast.CallExpr); ok && ip.isNoReturn(call) {
+			ip.dead = true
+		}
+	case *ast.SendStmt:
+		ip.eval(st, n.Chan, false)
+		ip.eval(st, n.Value, false)
+	case *ast.RangeStmt:
+		ip.rangeBind(st, n)
+	case *ast.ReturnStmt:
+		ip.returnStep(st, n)
+	case *ast.DeferStmt:
+		ip.evalCallArgsOnly(st, n.Call)
+	case *ast.GoStmt:
+		ip.evalCallArgsOnly(st, n.Call)
+	case *ast.BranchStmt, *ast.LabeledStmt, *ast.EmptyStmt:
+	case ast.Expr:
+		ip.eval(st, n, false)
+	}
+}
+
+// noReturnFuncs are the stdlib functions that terminate the goroutine or
+// process: control never reaches the statement after them, so the value
+// solver kills the state there (otherwise every `if err != nil { log.Fatal }`
+// guard would leak its error path into the code below it).
+var noReturnFuncs = map[string]bool{
+	"os.Exit":        true,
+	"runtime.Goexit": true,
+	"log.Fatal":      true,
+	"log.Fatalf":     true,
+	"log.Fatalln":    true,
+	"log.Panic":      true,
+	"log.Panicf":     true,
+	"log.Panicln":    true,
+}
+
+// isNoReturn reports a call that provably does not return: the panic
+// builtin or one of noReturnFuncs.
+func (ip *interp) isNoReturn(call *ast.CallExpr) bool {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := ip.info.Uses[id].(*types.Builtin); isB {
+			return b.Name() == "panic"
+		}
+	}
+	w := &walker{pkg: ip.pkg}
+	callee := w.staticCallee(call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	return noReturnFuncs[callee.Pkg().Path()+"."+callee.Name()]
+}
+
+// evalCallArgsOnly evaluates a deferred/spawned call's arguments (they run
+// now) without treating the call itself as executing here.
+func (ip *interp) evalCallArgsOnly(st valState, call *ast.CallExpr) {
+	for _, a := range call.Args {
+		ip.eval(st, a, false)
+	}
+}
+
+// returnStep evaluates a return's results and, when collecting, records the
+// return fact (naked returns read the named result objects).
+func (ip *interp) returnStep(st valState, n *ast.ReturnStmt) {
+	sig := ip.signature()
+	nres := 0
+	if sig != nil {
+		nres = sig.Results().Len()
+	}
+	var vals []absVal
+	var params []int
+	if len(n.Results) == 0 {
+		for _, r := range ip.namedResults {
+			v, _ := st.get(r)
+			vals = append(vals, v)
+			params = append(params, -1)
+		}
+	} else if len(n.Results) == nres {
+		for _, e := range n.Results {
+			vals = append(vals, ip.eval(st, e, false))
+			params = append(params, ip.paramIndexOf(e))
+		}
+	} else {
+		// return f() forwarding a tuple: no per-result precision.
+		for _, e := range n.Results {
+			ip.eval(st, e, false)
+		}
+		for i := 0; i < nres; i++ {
+			vals = append(vals, topVal())
+			params = append(params, -1)
+		}
+	}
+	if ip.rets != nil && len(vals) == nres && nres > 0 {
+		*ip.rets = append(*ip.rets, returnFact{vals: vals, params: params})
+	}
+}
+
+// paramIndexOf reports which parameter e returns verbatim, or -1.
+func (ip *interp) paramIndexOf(e ast.Expr) int {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	obj := ip.objOf(id)
+	sig := ip.signature()
+	if obj == nil || sig == nil {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// setObj writes a tracked object's value, clearing any overflow-guard
+// pointing at it (the guarded relation dies when either side changes).
+func (ip *interp) setObj(st valState, obj types.Object, v absVal) {
+	if !ip.tracked(obj) {
+		return
+	}
+	for k, kv := range st {
+		if kv.guard == obj {
+			kv.guard = nil
+			st.set(k, kv)
+		}
+	}
+	st.set(obj, v)
+}
+
+// assign interprets an assignment statement.
+func (ip *interp) assign(st valState, as *ast.AssignStmt) {
+	// Compound ops: x op= y.
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		lv := ip.eval(st, as.Lhs[0], false)
+		rv := ip.eval(st, as.Rhs[0], false)
+		obj := ip.identTarget(as.Lhs[0])
+		if obj == nil {
+			return
+		}
+		var binOp token.Token
+		switch as.Tok {
+		case token.ADD_ASSIGN:
+			binOp = token.ADD
+		case token.SUB_ASSIGN:
+			binOp = token.SUB
+		case token.MUL_ASSIGN:
+			binOp = token.MUL
+		case token.QUO_ASSIGN:
+			binOp = token.QUO
+		case token.REM_ASSIGN:
+			binOp = token.REM
+		default:
+			ip.setObj(st, obj, topForType(obj.Type()))
+			return
+		}
+		nv := ip.arith(binOp, lv, rv, obj.Type())
+		// x *= y / x += y feeding a sink is a site too.
+		if ip.sinkObjs[obj] && (binOp == token.MUL || binOp == token.ADD) && isIntType(obj.Type()) && ip.sites != nil {
+			ip.sites.mulAdds = append(ip.sites.mulAdds, mulAddSite{
+				pos: as.Pos(), op: binOp,
+				xs: exprString(as.Lhs[0]), ys: exprString(as.Rhs[0]),
+				xv: lv, yv: rv, sink: true,
+				guard: ip.mulGuarded(st, as.Lhs[0], as.Rhs[0]),
+			})
+		}
+		ip.setObj(st, obj, nv)
+		return
+	}
+
+	// Tuple form: x, y := f() / v, ok := m[k] / v, ok := <-ch / v, ok := x.(T)
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		ip.assignTuple(st, as)
+		return
+	}
+
+	// Pairwise: evaluate every RHS first (Go semantics), then assign.
+	vals := make([]absVal, len(as.Rhs))
+	for i, r := range as.Rhs {
+		sink := false
+		if i < len(as.Lhs) {
+			if obj := ip.identTarget(as.Lhs[i]); obj != nil && ip.sinkObjs[obj] {
+				sink = true
+			}
+		}
+		vals[i] = ip.eval(st, r, sink)
+	}
+	for i, l := range as.Lhs {
+		if i >= len(vals) {
+			break
+		}
+		ip.assignLHS(st, l, vals[i])
+	}
+}
+
+// assignLHS stores v into an assignment target, recording deref sites for
+// pointer/map targets.
+func (ip *interp) assignLHS(st valState, l ast.Expr, v absVal) {
+	l = unparen(l)
+	switch l := l.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := ip.objOf(l)
+		if obj == nil {
+			return
+		}
+		nv := v
+		// Clip to the target type's representable range (assignment cannot
+		// widen past it).
+		if b := basicOf(obj.Type()); b != nil {
+			nv.iv = nv.iv.Meet(basicRange(b))
+			if nv.iv.IsEmpty() {
+				nv.iv = basicRange(b)
+			}
+		}
+		ip.setObj(st, obj, nv)
+	case *ast.IndexExpr:
+		idxV := ip.eval(st, l.Index, false)
+		if id, ok := unparen(l.X).(*ast.Ident); ok {
+			bv := ip.evalIdent(st, id)
+			if t := ip.info.TypeOf(l.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					ip.noteDeref(l.Pos(), id.Name, derefMapWrite, bv)
+				} else {
+					ip.noteSliceIndex(l, id, bv, idxV)
+				}
+			}
+		} else {
+			ip.eval(st, l.X, false)
+		}
+	case *ast.SelectorExpr, *ast.StarExpr:
+		ip.eval(st, l, false)
+	}
+}
+
+// assignTuple handles multi-assign from one RHS.
+func (ip *interp) assignTuple(st valState, as *ast.AssignStmt) {
+	rhs := unparen(as.Rhs[0])
+	setAll := func(get func(i int, t types.Type) absVal) {
+		for i, l := range as.Lhs {
+			id, ok := unparen(l).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := ip.objOf(id)
+			if obj == nil {
+				continue
+			}
+			ip.setObj(st, obj, get(i, obj.Type()))
+		}
+	}
+	switch r := rhs.(type) {
+	case *ast.CallExpr:
+		results := ip.evalCall(st, r, false)
+		pair := ip.pairs[as]
+		setAll(func(i int, t types.Type) absVal {
+			v := topForType(t)
+			if i < len(results) {
+				v = results[i]
+			}
+			if pair != nil {
+				v.pair = pair.id
+				v.res = int16(i)
+				if i == pair.errIdx {
+					v.flags |= fErrObj
+				} else {
+					v.flags |= fResultObj
+				}
+			}
+			return v
+		})
+	case *ast.TypeAssertExpr:
+		ip.eval(st, r.X, false)
+		setAll(func(i int, t types.Type) absVal {
+			v := topForType(t)
+			if i == 1 {
+				v.iv = Interval{0, 1}
+			}
+			return v
+		})
+	case *ast.UnaryExpr: // v, ok := <-ch
+		ip.eval(st, r.X, false)
+		setAll(func(i int, t types.Type) absVal {
+			v := topForType(t)
+			if i == 1 {
+				v.iv = Interval{0, 1}
+			}
+			return v
+		})
+	case *ast.IndexExpr: // v, ok := m[k]
+		ip.eval(st, r, false)
+		setAll(func(i int, t types.Type) absVal {
+			v := topForType(t)
+			if i == 1 {
+				v.iv = Interval{0, 1}
+			}
+			return v
+		})
+	default:
+		ip.eval(st, rhs, false)
+		setAll(func(i int, t types.Type) absVal { return topForType(t) })
+	}
+}
+
+// rangeBind evaluates a range statement's operand and binds key/value.
+func (ip *interp) rangeBind(st valState, n *ast.RangeStmt) {
+	xv := ip.eval(st, n.X, false)
+	xt := ip.info.TypeOf(n.X)
+	var hi int64 = math.MaxInt64
+	if xt != nil {
+		switch u := xt.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			hi = xv.lenIv.Hi
+		case *types.Array:
+			hi = u.Len()
+		case *types.Pointer: // *[N]T
+			if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+				hi = arr.Len()
+			}
+		case *types.Basic:
+			if u.Info()&types.IsInteger != 0 {
+				hi = xv.iv.Hi
+			}
+		}
+	}
+	bind := func(e ast.Expr, mk func(t types.Type) absVal) {
+		if e == nil {
+			return
+		}
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := ip.objOf(id)
+		if obj == nil {
+			return
+		}
+		ip.setObj(st, obj, mk(obj.Type()))
+	}
+	bind(n.Key, func(t types.Type) absVal {
+		v := topForType(t)
+		if isIntType(t) {
+			top := hi
+			if top != math.MaxInt64 {
+				top = satAdd64(top, -1)
+				if top < 0 {
+					top = 0
+				}
+			}
+			v.iv = v.iv.Meet(Interval{0, top})
+			if v.iv.IsEmpty() {
+				v.iv = Interval{0, top}
+			}
+		}
+		return v
+	})
+	bind(n.Value, topForType)
+}
+
+// --- eval ----------------------------------------------------------------
+
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// noteDeref records a dereference site during replay.
+func (ip *interp) noteDeref(pos token.Pos, name string, kind derefKind, v absVal) {
+	if ip.sites == nil {
+		return
+	}
+	ip.sites.derefs = append(ip.sites.derefs, derefSite{pos: pos, name: name, kind: kind, v: v})
+}
+
+// noteSliceIndex records both the nil-deref and bounds aspects of s[i]. The
+// caller evaluates the index exactly once and passes the result, so nested
+// expressions inside the index do not double-record sites.
+func (ip *interp) noteSliceIndex(ix *ast.IndexExpr, baseID *ast.Ident, bv, idxV absVal) {
+	if ip.sites == nil {
+		return
+	}
+	t := ip.info.TypeOf(ix.X)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		ip.sites.derefs = append(ip.sites.derefs, derefSite{pos: ix.Pos(), name: baseID.Name, kind: derefIndex, v: bv})
+		site := indexSite{pos: ix.Pos(), idxS: exprString(ix.Index), baseS: baseID.Name, idxV: idxV}
+		if bv.lenIv.BoundedAbove() {
+			site.lenHi, site.hasLen = bv.lenIv.Hi, true
+		}
+		ip.sites.indexes = append(ip.sites.indexes, site)
+	case *types.Array:
+		ip.sites.indexes = append(ip.sites.indexes, indexSite{
+			pos: ix.Pos(), idxS: exprString(ix.Index), baseS: baseID.Name,
+			idxV: idxV, lenHi: u.Len(), hasLen: true,
+		})
+	}
+}
+
+// evalIdent reads an identifier's abstract value.
+func (ip *interp) evalIdent(st valState, id *ast.Ident) absVal {
+	obj := ip.objOf(id)
+	if obj == nil {
+		return topVal()
+	}
+	if v, ok := st[obj]; ok {
+		return v
+	}
+	return topForType(obj.Type())
+}
+
+// eval computes an expression's abstract value, recording analysis sites
+// along the way when replaying. sink marks that the value feeds tick
+// accounting (Meter.AddTicks or a sink parameter) — the overflow rule's
+// context bit.
+func (ip *interp) eval(st valState, e ast.Expr, sink bool) absVal {
+	if e == nil {
+		return topVal()
+	}
+	e = unparen(e)
+	// Constants first: any expression the type checker folded is exact.
+	if tv, ok := ip.info.Types[e]; ok {
+		if tv.Value != nil {
+			return constToVal(tv.Value, tv.Type)
+		}
+		if tv.IsNil() {
+			v := topVal()
+			v.nl = nilYes
+			return v
+		}
+	}
+
+	switch x := e.(type) {
+	case *ast.Ident:
+		return ip.evalIdent(st, x)
+
+	case *ast.BinaryExpr:
+		return ip.evalBinary(st, x, sink)
+
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.SUB:
+			v := ip.eval(st, x.X, sink)
+			out := topForType(ip.info.TypeOf(e))
+			out.iv = v.iv.Neg()
+			out.flags |= v.flags & fZeroPath
+			return out
+		case token.NOT:
+			v := ip.eval(st, x.X, false)
+			out := topForType(ip.info.TypeOf(e))
+			switch v.iv {
+			case ConstInterval(1):
+				out.iv = ConstInterval(0)
+			case ConstInterval(0):
+				out.iv = ConstInterval(1)
+			}
+			return out
+		case token.AND: // &x: non-nil by construction
+			ip.eval(st, x.X, false)
+			v := topVal()
+			v.nl = nilNo
+			return v
+		case token.ARROW: // <-ch
+			ip.eval(st, x.X, false)
+			return topForType(ip.info.TypeOf(e))
+		default:
+			ip.eval(st, x.X, false)
+			return topForType(ip.info.TypeOf(e))
+		}
+
+	case *ast.StarExpr:
+		if id, ok := unparen(x.X).(*ast.Ident); ok {
+			ip.noteDeref(x.Pos(), id.Name, derefStar, ip.evalIdent(st, id))
+		}
+		ip.eval(st, x.X, false)
+		return topForType(ip.info.TypeOf(e))
+
+	case *ast.SelectorExpr:
+		return ip.evalSelector(st, x)
+
+	case *ast.CallExpr:
+		res := ip.evalCall(st, x, sink)
+		if len(res) > 0 {
+			return res[0]
+		}
+		return topForType(ip.info.TypeOf(e))
+
+	case *ast.IndexExpr:
+		return ip.evalIndex(st, x)
+
+	case *ast.SliceExpr:
+		base := ip.eval(st, x.X, false)
+		ip.eval(st, x.Low, false)
+		ip.eval(st, x.High, false)
+		ip.eval(st, x.Max, false)
+		v := topForType(ip.info.TypeOf(e))
+		if base.nl == nilNo && x.Low == nil && x.High == nil {
+			v.nl = nilNo // s[:] of a non-nil slice
+		}
+		return v
+
+	case *ast.CompositeLit:
+		return ip.evalComposite(st, x)
+
+	case *ast.FuncLit:
+		v := topVal()
+		v.nl = nilNo
+		return v
+
+	case *ast.TypeAssertExpr:
+		ip.eval(st, x.X, false)
+		return topForType(ip.info.TypeOf(e))
+
+	case *ast.KeyValueExpr:
+		ip.eval(st, x.Value, false)
+		return topVal()
+	}
+	return topForType(ip.info.TypeOf(e))
+}
+
+// mulGuarded reports whether a dominating `a > math.MaxInt64/b` comparison
+// (false edge) proved this operand pair safe to multiply.
+func (ip *interp) mulGuarded(st valState, x, y ast.Expr) bool {
+	xo, yo := ip.identTarget(x), ip.identTarget(y)
+	if xo == nil || yo == nil {
+		return false
+	}
+	if v, ok := st[xo]; ok && v.guard == yo {
+		return true
+	}
+	if v, ok := st[yo]; ok && v.guard == xo {
+		return true
+	}
+	return false
+}
+
+// evalBinary abstracts arithmetic, recording overflow/div sites.
+func (ip *interp) evalBinary(st valState, x *ast.BinaryExpr, sink bool) absVal {
+	t := ip.info.TypeOf(x)
+	switch x.Op {
+	case token.LAND, token.LOR:
+		ip.eval(st, x.X, false)
+		ip.eval(st, x.Y, false)
+		v := topForType(t)
+		v.iv = Interval{0, 1}
+		return v
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		ip.eval(st, x.X, false)
+		ip.eval(st, x.Y, false)
+		v := topForType(t)
+		v.iv = Interval{0, 1}
+		return v
+	}
+
+	xv := ip.eval(st, x.X, sink)
+	yv := ip.eval(st, x.Y, sink)
+
+	if ip.sites != nil {
+		switch x.Op {
+		case token.MUL, token.ADD:
+			if isIntType(t) {
+				ip.sites.mulAdds = append(ip.sites.mulAdds, mulAddSite{
+					pos: x.Pos(), op: x.Op,
+					xs: exprString(x.X), ys: exprString(x.Y),
+					xv: xv, yv: yv, sink: sink,
+					guard: ip.mulGuarded(st, x.X, x.Y),
+				})
+			}
+		case token.QUO, token.REM:
+			if isIntType(t) || isFloatType(t) {
+				ip.sites.divs = append(ip.sites.divs, divSite{
+					pos: x.Pos(), op: x.Op, divStr: exprString(x.Y),
+					dv: yv, intOp: isIntType(t),
+				})
+			}
+		}
+	}
+	return ip.arith(x.Op, xv, yv, t)
+}
+
+// arith is the interval transfer for a binary arithmetic op.
+func (ip *interp) arith(op token.Token, xv, yv absVal, t types.Type) absVal {
+	out := topForType(t)
+	switch op {
+	case token.ADD:
+		out.iv = xv.iv.Add(yv.iv)
+	case token.SUB:
+		out.iv = xv.iv.Sub(yv.iv)
+	case token.MUL:
+		out.iv = xv.iv.Mul(yv.iv)
+	case token.QUO:
+		if c := yv.iv; c.Lo == c.Hi && c.Lo > 0 && isIntType(t) {
+			out.iv = Interval{quoFloor(xv.iv.Lo, c.Lo), quoFloor(xv.iv.Hi, c.Lo)}
+		}
+	case token.REM:
+		if c := yv.iv; c.Lo == c.Hi && c.Lo > 0 && c.Lo != math.MaxInt64 {
+			if xv.iv.Lo >= 0 {
+				out.iv = Interval{0, c.Lo - 1}
+			} else {
+				out.iv = Interval{-(c.Lo - 1), c.Lo - 1}
+			}
+		}
+	case token.AND:
+		if xv.iv.Lo >= 0 && yv.iv.Lo >= 0 {
+			hi := xv.iv.Hi
+			if yv.iv.Hi < hi {
+				hi = yv.iv.Hi
+			}
+			out.iv = Interval{0, hi}
+		}
+	case token.SHR:
+		if xv.iv.Lo >= 0 {
+			out.iv = Interval{0, xv.iv.Hi}
+		}
+	}
+	// Clip to the result type's representable range; an empty meet means the
+	// transfer proved nothing useful (wrap), fall back to the type range.
+	if b := basicOf(t); b != nil {
+		clipped := out.iv.Meet(basicRange(b))
+		if clipped.IsEmpty() {
+			clipped = basicRange(b)
+		}
+		out.iv = clipped
+	}
+	return out
+}
+
+// quoFloor divides preserving sentinel semantics (±∞ / c = ±∞).
+func quoFloor(a, c int64) int64 {
+	if a == math.MaxInt64 || a == math.MinInt64 {
+		return a
+	}
+	q := a / c
+	if a%c != 0 && (a < 0) != (c < 0) {
+		q-- // floor toward -∞ so the interval stays an envelope
+	}
+	return q
+}
+
+// evalSelector handles field reads and method values, recording deref and
+// interface-call sites.
+func (ip *interp) evalSelector(st valState, sel *ast.SelectorExpr) absVal {
+	// Qualified identifier pkg.X: nothing to dereference.
+	if pkgNameOf(ip.info, sel.X) != nil {
+		return topForType(ip.info.TypeOf(sel))
+	}
+	s, ok := ip.info.Selections[sel]
+	if ok {
+		if id, isID := unparen(sel.X).(*ast.Ident); isID {
+			bv := ip.evalIdent(st, id)
+			switch s.Kind() {
+			case types.FieldVal:
+				if s.Indirect() || isPointerType(ip.info.TypeOf(sel.X)) {
+					ip.noteDeref(sel.Sel.Pos(), id.Name, derefField, bv)
+				}
+			case types.MethodVal:
+				recvT := ip.info.TypeOf(sel.X)
+				if recvT != nil && types.IsInterface(recvT) {
+					ip.noteDeref(sel.Sel.Pos(), id.Name, derefIfaceCall, bv)
+				} else if s.Indirect() && !methodHasPointerReceiver(s) {
+					// Value-receiver method on a pointer base auto-derefs.
+					ip.noteDeref(sel.Sel.Pos(), id.Name, derefField, bv)
+				}
+			}
+		}
+	}
+	ip.eval(st, sel.X, false)
+	return topForType(ip.info.TypeOf(sel))
+}
+
+func isPointerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+func methodHasPointerReceiver(s *types.Selection) bool {
+	f, ok := s.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	_, isPtr := sig.Recv().Type().(*types.Pointer)
+	return isPtr
+}
+
+// evalIndex handles s[i] reads.
+func (ip *interp) evalIndex(st valState, ix *ast.IndexExpr) absVal {
+	idxV := ip.eval(st, ix.Index, false)
+	t := ip.info.TypeOf(ix.X)
+	if t == nil {
+		ip.eval(st, ix.X, false)
+		return topVal()
+	}
+	if _, isMap := t.Underlying().(*types.Map); isMap {
+		// Reading a nil map is legal; no deref site.
+		ip.eval(st, ix.X, false)
+		return topForType(ip.info.TypeOf(ix))
+	}
+	if id, ok := unparen(ix.X).(*ast.Ident); ok {
+		bv := ip.evalIdent(st, id)
+		ip.noteSliceIndex(ix, id, bv, idxV)
+		return topForType(ip.info.TypeOf(ix))
+	}
+	ip.eval(st, ix.X, false)
+	return topForType(ip.info.TypeOf(ix))
+}
+
+// evalComposite abstracts a composite literal (non-nil; slice lits know
+// their length), evaluating every element exactly once, and records
+// Range-shaped literal sites from the collected element values.
+func (ip *interp) evalComposite(st valState, lit *ast.CompositeLit) absVal {
+	t := ip.info.TypeOf(lit)
+	isMapLit := false
+	if t != nil {
+		_, isMapLit = t.Underlying().(*types.Map)
+	}
+	var (
+		n       int64
+		keyed   bool
+		keyVals map[string]absVal
+		keyStrs map[string]string
+		posVals []absVal
+	)
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if isMapLit {
+				ip.eval(st, kv.Key, false)
+			}
+			v := ip.eval(st, kv.Value, false)
+			if key, ok := kv.Key.(*ast.Ident); ok && !isMapLit {
+				if keyVals == nil {
+					keyVals = map[string]absVal{}
+					keyStrs = map[string]string{}
+				}
+				keyVals[key.Name] = v
+				keyStrs[key.Name] = exprString(kv.Value)
+			}
+			continue
+		}
+		n++
+		posVals = append(posVals, ip.eval(st, el, false))
+	}
+	ip.noteRangeLit(lit, keyVals, keyStrs, posVals)
+	v := topForType(t)
+	v.nl = nilNo
+	if t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			if !keyed {
+				v.lenIv = ConstInterval(n)
+			}
+		}
+	}
+	return v
+}
+
+// noteRangeLit records a validity-range literal: any module-declared struct
+// named "Range" with float64 Lo/Hi fields (structurally matched so fixtures
+// need not import the optimizer). Element values arrive pre-evaluated from
+// evalComposite; missing fields hold the zero value 0.0.
+func (ip *interp) noteRangeLit(lit *ast.CompositeLit, keyVals map[string]absVal, keyStrs map[string]string, posVals []absVal) {
+	if ip.sites == nil {
+		return
+	}
+	t := ip.info.TypeOf(lit)
+	tn := namedTypeOf(t)
+	if tn == nil || tn.Name() != "Range" || tn.Pkg() == nil {
+		return
+	}
+	strct, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	loIdx, hiIdx := -1, -1
+	for i := 0; i < strct.NumFields(); i++ {
+		f := strct.Field(i)
+		if b := basicOf(f.Type()); b == nil || b.Kind() != types.Float64 {
+			continue
+		}
+		switch f.Name() {
+		case "Lo":
+			loIdx = i
+		case "Hi":
+			hiIdx = i
+		}
+	}
+	if loIdx < 0 || hiIdx < 0 {
+		return
+	}
+	loV, hiV := zeroValOf(strct.Field(loIdx).Type()), zeroValOf(strct.Field(hiIdx).Type())
+	loS, hiS := "0", "0"
+	if keyVals != nil {
+		if v, ok := keyVals["Lo"]; ok {
+			loV, loS = v, keyStrs["Lo"]
+		}
+		if v, ok := keyVals["Hi"]; ok {
+			hiV, hiS = v, keyStrs["Hi"]
+		}
+	} else if len(posVals) > 0 {
+		if loIdx < len(posVals) {
+			loV, loS = posVals[loIdx], exprString(lit.Elts[loIdx])
+		}
+		if hiIdx < len(posVals) {
+			hiV, hiS = posVals[hiIdx], exprString(lit.Elts[hiIdx])
+		}
+	}
+	ip.sites.ranges = append(ip.sites.ranges, rangeLitSite{
+		pos: lit.Pos(), typeName: tn.Pkg().Name() + "." + tn.Name(),
+		loV: loV, hiV: hiV, loS: loS, hiS: hiS,
+	})
+}
+
+// evalCall abstracts a call: conversions, builtins, then summaries for
+// statically known module functions. Returns one absVal per result.
+func (ip *interp) evalCall(st valState, call *ast.CallExpr, sink bool) []absVal {
+	// Conversion T(x).
+	if tv, ok := ip.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		inner := ip.eval(st, call.Args[0], sink)
+		return []absVal{ip.convert(inner, tv.Type)}
+	}
+
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := ip.info.Uses[id].(*types.Builtin); isB {
+			return []absVal{ip.evalBuiltin(st, b.Name(), call)}
+		}
+	}
+
+	// Callee expression: func-value calls are deref sites; method calls run
+	// through evalSelector (interface-call sites).
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := ip.objOf(fun); obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				ip.noteDeref(fun.Pos(), fun.Name, derefFuncCall, ip.evalIdent(st, fun))
+			}
+		}
+	case *ast.SelectorExpr:
+		ip.evalSelector(st, fun)
+	default:
+		ip.eval(st, fun, false)
+	}
+
+	// Arguments: sink context flows into Meter.AddTicks args and known sink
+	// parameters.
+	w := &walker{pkg: ip.pkg}
+	callee := w.staticCallee(call)
+	argVals := make([]absVal, len(call.Args))
+	for i, a := range call.Args {
+		argSink := false
+		if ip.isTickSinkCall(call) {
+			argSink = true
+		} else if callee != nil {
+			if sp := ip.va.sinkParams[callee]; i < len(sp) && sp[i] {
+				argSink = true
+			}
+		}
+		argVals[i] = ip.eval(st, a, argSink)
+	}
+
+	// Result values from the callee's value summary.
+	sig, _ := ip.info.TypeOf(call.Fun).(*types.Signature)
+	nres := 1
+	if sig != nil {
+		nres = sig.Results().Len()
+	}
+	out := make([]absVal, nres)
+	for i := range out {
+		var rt types.Type
+		if sig != nil && i < sig.Results().Len() {
+			rt = sig.Results().At(i).Type()
+		}
+		out[i] = topForType(rt)
+		if callee != nil {
+			out[i] = ip.va.resultVal(callee, i, rt, call, argVals)
+			if i == 0 && isNonNilReturnFunc(callee) {
+				out[i].nl = nilNo
+			}
+		}
+	}
+	return out
+}
+
+// nonNilReturnFuncs are stdlib constructors whose result is never nil.
+// Without this, `return nil, errors.New(...)` leaves the error's nilness
+// unknown and the return counts toward BOTH the err and ok classifications,
+// degrading every caller's ok-path result to maybe-nil.
+var nonNilReturnFuncs = map[string]bool{
+	"errors.New": true,
+	"fmt.Errorf": true,
+}
+
+// isNonNilReturnFunc reports a callee from nonNilReturnFuncs.
+func isNonNilReturnFunc(callee *types.Func) bool {
+	if callee.Pkg() == nil {
+		return false
+	}
+	return nonNilReturnFuncs[callee.Pkg().Path()+"."+callee.Name()]
+}
+
+// isTickSinkCall reports a (*executor.Meter).AddTicks call — the root tick
+// sink the overflow rule protects (shared with the syntactic sink pass in
+// summaryval.go).
+func (ip *interp) isTickSinkCall(call *ast.CallExpr) bool {
+	return isMeterAddTicks(ip.info, call)
+}
+
+// evalBuiltin abstracts the builtins the rules care about.
+func (ip *interp) evalBuiltin(st valState, name string, call *ast.CallExpr) absVal {
+	switch name {
+	case "len":
+		if len(call.Args) == 1 {
+			arg := call.Args[0]
+			av := ip.eval(st, arg, false)
+			t := ip.info.TypeOf(arg)
+			v := topForType(types.Typ[types.Int])
+			if t != nil {
+				if arr, ok := t.Underlying().(*types.Array); ok {
+					v.iv = ConstInterval(arr.Len())
+					return v
+				}
+			}
+			v.iv = av.lenIv.Meet(Interval{0, math.MaxInt64})
+			if v.iv.IsEmpty() {
+				v.iv = Interval{0, math.MaxInt64}
+			}
+			return v
+		}
+	case "cap":
+		for _, a := range call.Args {
+			ip.eval(st, a, false)
+		}
+		v := topForType(types.Typ[types.Int])
+		v.iv = Interval{0, math.MaxInt64}
+		return v
+	case "make":
+		v := topVal()
+		v.nl = nilNo
+		v.lenIv = Interval{0, math.MaxInt64}
+		if t := ip.info.TypeOf(call); t != nil {
+			if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+				if len(call.Args) >= 2 {
+					n := ip.eval(st, call.Args[1], false)
+					v.lenIv = n.iv.Meet(Interval{0, math.MaxInt64})
+					if v.lenIv.IsEmpty() {
+						v.lenIv = Interval{0, math.MaxInt64}
+					}
+				}
+			} else {
+				v.lenIv = Interval{0, math.MaxInt64}
+				for i := 1; i < len(call.Args); i++ {
+					ip.eval(st, call.Args[i], false)
+				}
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				v.lenIv = ConstInterval(0)
+				for i := 1; i < len(call.Args); i++ {
+					ip.eval(st, call.Args[i], false)
+				}
+			}
+		}
+		return v
+	case "new":
+		v := topVal()
+		v.nl = nilNo
+		return v
+	case "append":
+		var base absVal
+		for i, a := range call.Args {
+			av := ip.eval(st, a, false)
+			if i == 0 {
+				base = av
+			}
+		}
+		v := topVal()
+		added := int64(len(call.Args) - 1)
+		if call.Ellipsis.IsValid() {
+			v.lenIv = Interval{base.lenIv.Lo, math.MaxInt64}
+			v.nl = base.nl
+		} else if added > 0 {
+			v.nl = nilNo
+			v.lenIv = base.lenIv.Add(ConstInterval(added)).Meet(Interval{0, math.MaxInt64})
+		} else {
+			v = base
+		}
+		return v
+	case "min", "max":
+		var out absVal
+		for i, a := range call.Args {
+			av := ip.eval(st, a, false)
+			if i == 0 {
+				out = av
+				continue
+			}
+			if name == "min" {
+				out.iv = Interval{minI64(out.iv.Lo, av.iv.Lo), minI64(out.iv.Hi, av.iv.Hi)}
+			} else {
+				out.iv = Interval{maxI64(out.iv.Lo, av.iv.Lo), maxI64(out.iv.Hi, av.iv.Hi)}
+			}
+		}
+		out.flags = 0
+		return out
+	default:
+		for _, a := range call.Args {
+			ip.eval(st, a, false)
+		}
+	}
+	return topForType(ip.info.TypeOf(call))
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// convert abstracts a type conversion. Integer conversions keep the value
+// when it provably fits the target (otherwise truncation wraps and nothing
+// carries over); reference conversions preserve nilness.
+func (ip *interp) convert(inner absVal, dst types.Type) absVal {
+	if b := basicOf(dst); b != nil {
+		if b.Info()&(types.IsInteger|types.IsFloat) != 0 {
+			out := topForType(dst)
+			r := basicRange(b)
+			if b.Info()&types.IsFloat != 0 {
+				r = FullInterval()
+			}
+			if !inner.iv.IsEmpty() && inner.iv.Lo >= r.Lo && inner.iv.Hi <= r.Hi {
+				out.iv = inner.iv
+				out.flags |= inner.flags & fZeroPath
+			}
+			return out
+		}
+		return topForType(dst)
+	}
+	if isNilable(dst) {
+		out := topForType(dst)
+		out.nl = inner.nl
+		out.lenIv = inner.lenIv
+		return out
+	}
+	return topForType(dst)
+}
+
+// --- branch refinement ---------------------------------------------------
+
+// refineEdge narrows st with the knowledge that cond evaluated to takeTrue.
+// It returns false when the state contradicts the condition — the edge is
+// infeasible and must not propagate.
+func (ip *interp) refineEdge(st valState, cond ast.Expr, takeTrue bool) bool {
+	cond = unparen(cond)
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return ip.refineEdge(st, c.X, !takeTrue)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if takeTrue { // A && B true: both hold
+				return ip.refineEdge(st, c.X, true) && ip.refineEdge(st, c.Y, true)
+			}
+			return true // !(A && B): disjunction, no refinement
+		case token.LOR:
+			if !takeTrue { // !(A || B): both false
+				return ip.refineEdge(st, c.X, false) && ip.refineEdge(st, c.Y, false)
+			}
+			return true
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			op := c.Op
+			if !takeTrue {
+				op = negateCmp(op)
+			}
+			return ip.refineCmp(st, op, c.X, c.Y)
+		}
+	case *ast.Ident: // if ok { ... }
+		obj := ip.identTarget(c)
+		if obj == nil {
+			return true
+		}
+		v, _ := st.get(obj)
+		want := ConstInterval(1)
+		if !takeTrue {
+			want = ConstInterval(0)
+		}
+		met := v.iv.Meet(want)
+		if met.IsEmpty() {
+			return false
+		}
+		v.iv = met
+		st.set(obj, v)
+		return true
+	}
+	return true
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	}
+	return op
+}
+
+// flipCmp mirrors a comparison: x OP y == y FLIP(OP) x.
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op // EQL/NEQ symmetric
+}
+
+// isNilExpr reports the predeclared nil.
+func (ip *interp) isNilExpr(e ast.Expr) bool {
+	tv, ok := ip.info.Types[unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// refineCmp applies `x op y` (already normalized for the edge's truth).
+func (ip *interp) refineCmp(st valState, op token.Token, x, y ast.Expr) bool {
+	// nil comparisons drive nilness and the err-pair protocol.
+	if ip.isNilExpr(y) {
+		return ip.refineNil(st, op, x)
+	}
+	if ip.isNilExpr(x) {
+		return ip.refineNil(st, op, y)
+	}
+
+	// Overflow-guard idiom: after `if a > math.MaxInt64/b` failed, the pair
+	// (a, b) multiplies safely. Detect the normalized false-edge ops.
+	if op == token.LEQ {
+		ip.noteMulGuard(st, x, y)
+	}
+	if op == token.GEQ {
+		ip.noteMulGuard(st, y, x)
+	}
+
+	// Numeric/len refinement, both directions.
+	ok1 := ip.refineNumeric(st, op, x, y)
+	ok2 := ip.refineNumeric(st, flipCmp(op), y, x)
+	return ok1 && ok2
+}
+
+// noteMulGuard records `a <= math.MaxInt64 / b` on both operands.
+func (ip *interp) noteMulGuard(st valState, a, quo ast.Expr) {
+	q, ok := unparen(quo).(*ast.BinaryExpr)
+	if !ok || q.Op != token.QUO {
+		return
+	}
+	tv, ok := ip.info.Types[unparen(q.X)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return
+	}
+	if c, exact := constant.Int64Val(tv.Value); !exact || c != math.MaxInt64 {
+		return
+	}
+	ao, bo := ip.identTarget(a), ip.identTarget(q.Y)
+	if ao == nil || bo == nil {
+		return
+	}
+	av, _ := st.get(ao)
+	bv, _ := st.get(bo)
+	av.guard, bv.guard = bo, ao
+	st.set(ao, av)
+	st.set(bo, bv)
+}
+
+// refineNil applies `e op nil`.
+func (ip *interp) refineNil(st valState, op token.Token, e ast.Expr) bool {
+	obj := ip.identTarget(e)
+	if obj == nil {
+		return true
+	}
+	v, _ := st.get(obj)
+	var fact nilness
+	switch op {
+	case token.EQL:
+		fact = nilYes
+	case token.NEQ:
+		fact = nilNo
+	default:
+		return true
+	}
+	nl, ok := meetNil(v.nl, fact)
+	if !ok {
+		return false
+	}
+	v.nl = nl
+	st.set(obj, v)
+
+	// Err-pair protocol: refining the error result informs the siblings.
+	if v.flags&fErrObj != 0 && v.pair > 0 && int(v.pair) <= len(ip.pairByID) {
+		ip.refineErrSiblings(st, ip.pairByID[v.pair-1], v.pair, fact == nilNo)
+	}
+	return true
+}
+
+// refineErrSiblings taints or clears a call pair's non-error results when
+// the paired error is proven non-nil (errPath=true) or nil.
+func (ip *interp) refineErrSiblings(st valState, pair *callPair, id int32, errNonNil bool) {
+	for obj, v := range st {
+		if v.flags&fResultObj == 0 || v.pair != id {
+			continue
+		}
+		idx := int(v.res)
+		if errNonNil {
+			switch ip.va.nilOnErr(pair.callee, idx) {
+			case nilAlwaysW:
+				if nl, ok := meetNil(v.nl, nilYes); ok {
+					v.nl = nl
+				} else {
+					v.nl = nilYes // contradictory refinements: keep the taint
+				}
+				v.flags |= fErrPath
+			case nilSometimesW:
+				if v.nl != nilNo {
+					v.nl = nilMaybe
+					v.flags |= fErrPath
+				}
+			default:
+				// nilNeverW/nilUnknownW: the callee never returns nil here
+				// (or is unsummarized) — no taint.
+			}
+		} else {
+			switch ip.va.nilOnOK(pair.callee, idx) {
+			case nilNeverW:
+				if nl, ok := meetNil(v.nl, nilNo); ok {
+					v.nl = nl
+				}
+				v.flags &^= fErrPath
+			case nilAlwaysW:
+				if nl, ok := meetNil(v.nl, nilYes); ok {
+					v.nl = nl
+				}
+				v.flags &^= fErrPath
+			default:
+				v.flags &^= fErrPath // success path: error taint is gone
+			}
+		}
+		st.set(obj, v)
+	}
+}
+
+// refTarget describes a refinable left side: a tracked ident's value
+// interval, or the len interval of a tracked slice/map (via len(x)).
+type refTarget struct {
+	obj   types.Object
+	isLen bool
+}
+
+func (ip *interp) refTargetOf(e ast.Expr) (refTarget, bool) {
+	e = unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if b, isB := ip.info.Uses[id].(*types.Builtin); isB && b.Name() == "len" {
+				if obj := ip.identTarget(call.Args[0]); obj != nil {
+					switch obj.Type().Underlying().(type) {
+					case *types.Slice, *types.Map:
+						return refTarget{obj: obj, isLen: true}, true
+					}
+				}
+				return refTarget{}, false
+			}
+		}
+	}
+	if obj := ip.identTarget(e); obj != nil {
+		return refTarget{obj: obj}, true
+	}
+	return refTarget{}, false
+}
+
+// refineNumeric narrows target's interval with `target op other`.
+func (ip *interp) refineNumeric(st valState, op token.Token, target, other ast.Expr) bool {
+	rt, ok := ip.refTargetOf(target)
+	if !ok {
+		return true
+	}
+	otherV := ip.eval(st, other, false)
+	oiv := otherV.iv
+	if rt.isLen {
+		// len(x) compared against a length-shaped expression: when the other
+		// side is itself len(y) use its len interval... the eval above already
+		// produced the numeric interval for any expression, including len(y).
+	}
+	if oiv.IsEmpty() {
+		return true
+	}
+
+	v, _ := st.get(rt.obj)
+	cur := v.iv
+	isFloat := !rt.isLen && isFloatType(rt.obj.Type())
+	if rt.isLen {
+		cur = v.lenIv
+		isFloat = false
+	}
+
+	var cons Interval
+	pointOther := oiv.Lo == oiv.Hi && oiv.BoundedBelow() && oiv.BoundedAbove()
+	switch op {
+	case token.EQL:
+		cons = oiv
+	case token.NEQ:
+		cons = FullInterval()
+		if pointOther {
+			if cur.Lo == oiv.Lo && cur.Lo != math.MinInt64 {
+				cons.Lo = oiv.Lo + 1
+			}
+			if cur.Hi == oiv.Lo && cur.Hi != math.MaxInt64 {
+				cons.Hi = oiv.Lo - 1
+			}
+		}
+	case token.LSS:
+		hi := oiv.Hi
+		if hi != math.MaxInt64 && !isFloat {
+			hi = satAdd64(hi, -1)
+		}
+		cons = Interval{math.MinInt64, hi}
+	case token.LEQ:
+		cons = Interval{math.MinInt64, oiv.Hi}
+	case token.GTR:
+		lo := oiv.Lo
+		if lo != math.MinInt64 && !isFloat {
+			lo = satAdd64(lo, 1)
+		}
+		cons = Interval{lo, math.MaxInt64}
+	case token.GEQ:
+		cons = Interval{oiv.Lo, math.MaxInt64}
+	default:
+		return true
+	}
+
+	met := cur.Meet(cons)
+	if met.IsEmpty() && !isFloat {
+		return false // infeasible edge
+	}
+	if met.IsEmpty() {
+		met = cur // float envelopes are approximate; never prune on them
+	}
+
+	// Zero-path bookkeeping: a refinement that excludes zero clears the
+	// evidence; `== 0` asserts it. Floats are dense, so x > 0 excludes zero
+	// even though the integer envelope [0, ∞) still contains it.
+	zeroOther := pointOther && oiv.Lo == 0
+	switch {
+	case op == token.EQL && zeroOther:
+		v.flags |= fZeroPath
+	case !met.Contains(0),
+		zeroOther && op == token.NEQ,
+		isFloat && zeroOther && (op == token.GTR || op == token.LSS):
+		v.flags &^= fZeroPath
+	}
+
+	if rt.isLen {
+		v.lenIv = met.Meet(Interval{0, math.MaxInt64})
+		if v.lenIv.IsEmpty() {
+			return false
+		}
+		// A proven non-empty length implies a non-nil slice/map.
+		if v.lenIv.Lo > 0 {
+			nl, ok := meetNil(v.nl, nilNo)
+			if !ok {
+				return false
+			}
+			v.nl = nl
+		}
+	} else {
+		v.iv = met
+	}
+	st.set(rt.obj, v)
+	return true
+}
+
+// --- per-function analysis ----------------------------------------------
+
+// funcValues is one function's solved value analysis.
+type funcValues struct {
+	ins       []valState
+	converged bool
+}
+
+// solve runs the branch-sensitive solver over the function's CFG.
+func (ip *interp) solve() *funcValues {
+	cfg := ip.va.g.FuncCFG(ip.fn)
+	if cfg == nil {
+		return &funcValues{converged: true}
+	}
+	ins, converged := solveForwardVals(cfg, ip.entryState(),
+		func(b *CFGBlock, in valState) valState {
+			ip.dead = false
+			for _, n := range b.Nodes {
+				ip.step(in, n)
+				if ip.dead {
+					return nil // no-return call: out-edges unreachable
+				}
+			}
+			return in
+		},
+		func(b *CFGBlock, kind edgeKind, out valState) (valState, bool) {
+			ok := ip.refineEdge(out, b.Branch, kind == edgeTrue)
+			return out, ok
+		},
+	)
+	return &funcValues{ins: ins, converged: converged}
+}
+
+// replay walks every reachable block from its solved in-state with the
+// current hooks (sites/rets) active. Unreachable blocks are skipped: code
+// the analysis proved dead cannot produce real findings.
+func (ip *interp) replay(fv *funcValues) {
+	cfg := ip.va.g.FuncCFG(ip.fn)
+	if cfg == nil {
+		return
+	}
+	for _, b := range cfg.Blocks {
+		if b.Index >= len(fv.ins) {
+			break
+		}
+		in := fv.ins[b.Index]
+		if in == nil {
+			continue
+		}
+		st := in.clone()
+		ip.dead = false
+		for _, n := range b.Nodes {
+			ip.step(st, n)
+			if ip.dead {
+				break // nothing after a no-return call executes
+			}
+		}
+	}
+}

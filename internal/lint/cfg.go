@@ -43,6 +43,15 @@ type CFGBlock struct {
 	Succs []*CFGBlock
 	Preds []*CFGBlock
 	Loop  bool // created inside a for/range loop
+
+	// Branch is the condition expression that decides which successor runs,
+	// when this block ends in a two-way test: an if condition, or a for
+	// condition. By construction Succs[0] is the TRUE edge and Succs[1] the
+	// FALSE edge (ifStmt wires then before else/after; forStmt wires body
+	// before after). Branch is nil for straight-line blocks, switch/select
+	// heads, and range heads — their successor choice is not a boolean
+	// condition. The value solver uses Branch to refine facts per out-edge.
+	Branch ast.Expr
 }
 
 // CFG is the control-flow graph of one function body.
@@ -192,6 +201,7 @@ func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
 	}
 	b.add(s.Cond)
 	cond := b.cur
+	cond.Branch = s.Cond
 	then := b.newBlock()
 	b.edge(cond, then)
 	b.cur = then
@@ -232,6 +242,7 @@ func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
 	b.cur = head
 	if s.Cond != nil {
 		b.add(s.Cond)
+		head.Branch = s.Cond
 	}
 	b.loopDepth = outer
 	after := b.newBlock()

@@ -118,6 +118,10 @@ func TestFindingsMatchProblemMatcher(t *testing.T) {
 		{"batchescape/bad", "repro/internal/executor/fixbatch"},
 		{"blockingcancel/bad", "repro/internal/server/fixblock"},
 		{"guardedfield/bad", "repro/internal/fixguard"},
+		{"overflow/bad", "repro/internal/optimizer/fixovf"},
+		{"nilguard/bad", "repro/internal/fixnil"},
+		{"rangeinvariant/bad", "repro/internal/fixrange"},
+		{"exhaustive/bad", "repro/internal/fixexh"},
 	} {
 		prog := loadFixture(t, fx.dir, fx.asPath)
 		findings, _ := lint.Run(prog, lint.Analyzers(), lint.Options{})

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzDomain is the concrete small domain the interval oracle enumerates.
+// It is wide enough that sums and products of members stay finite, so the
+// saturating transfer functions must be EXACT over it, while the raw fuzz
+// inputs still exercise the sentinel/saturation paths through clampBound.
+const fuzzDomain = 8
+
+// clampBound folds an arbitrary fuzz input into a bound: values near the
+// extremes map to the ±∞ sentinels, the rest into [-fuzzDomain, fuzzDomain].
+func clampBound(v int64) int64 {
+	switch {
+	case v == math.MinInt64 || v == math.MinInt64+1:
+		return math.MinInt64
+	case v == math.MaxInt64 || v == math.MaxInt64-1:
+		return math.MaxInt64
+	default:
+		m := v % (fuzzDomain + 1)
+		return m // in [-fuzzDomain, fuzzDomain]
+	}
+}
+
+// members enumerates iv ∩ [-fuzzDomain, fuzzDomain].
+func members(iv Interval) []int64 {
+	var out []int64
+	for x := int64(-fuzzDomain); x <= fuzzDomain; x++ {
+		if iv.Contains(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func interval(lo, hi int64) Interval {
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// FuzzIntervals checks the lattice and transfer functions against a
+// brute-force oracle over the small domain: join/meet membership must be
+// exact, add/mul must contain every pairwise result (and be exactly the
+// pairwise hull when both operands lie inside the domain), widening must
+// over-approximate the join, and the overflow predicates must agree with
+// 128-bit arithmetic on the corners.
+func FuzzIntervals(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), int64(0))
+	f.Add(int64(-3), int64(5), int64(2), int64(2))
+	f.Add(int64(math.MinInt64), int64(8), int64(0), int64(math.MaxInt64))
+	f.Add(int64(4), int64(-4), int64(1), int64(3)) // empty left operand
+	f.Add(int64(math.MaxInt64), int64(math.MaxInt64), int64(2), int64(2))
+
+	f.Fuzz(func(t *testing.T, aLo, aHi, bLo, bHi int64) {
+		a := interval(clampBound(aLo), clampBound(aHi))
+		b := interval(clampBound(bLo), clampBound(bHi))
+		am, bm := members(a), members(b)
+
+		join := a.Join(b)
+		meet := a.Meet(b)
+		for x := int64(-fuzzDomain); x <= fuzzDomain; x++ {
+			inA, inB := a.Contains(x), b.Contains(x)
+			if (inA || inB) && !join.Contains(x) {
+				t.Fatalf("Join(%v, %v) loses member %d", a, b, x)
+			}
+			if inA && inB && !meet.Contains(x) {
+				t.Fatalf("Meet(%v, %v) loses member %d", a, b, x)
+			}
+			if !inA && !inB && meet.Contains(x) && meet.Lo >= -fuzzDomain && meet.Hi <= fuzzDomain {
+				t.Fatalf("Meet(%v, %v) invents member %d", a, b, x)
+			}
+		}
+
+		// Lattice laws on the small structure. Empty intervals are equal as
+		// sets even when their (Lo > Hi) representations differ.
+		if j2 := b.Join(a); join != j2 && !(join.IsEmpty() && j2.IsEmpty()) {
+			t.Fatalf("Join not commutative: %v vs %v", join, j2)
+		}
+		if m2 := b.Meet(a); !meet.IsEmpty() || !m2.IsEmpty() {
+			if meet != m2 && !(meet.IsEmpty() && m2.IsEmpty()) {
+				t.Fatalf("Meet not commutative: %v vs %v", meet, m2)
+			}
+		}
+		if !a.IsEmpty() {
+			if aj := a.Join(a); aj != a {
+				t.Fatalf("Join not idempotent: %v -> %v", a, aj)
+			}
+		}
+
+		// Widening over-approximates the join and reaches a fixpoint.
+		w := a.Widen(join)
+		for x := int64(-fuzzDomain); x <= fuzzDomain; x++ {
+			if join.Contains(x) && !w.Contains(x) {
+				t.Fatalf("Widen(%v, %v) = %v loses member %d", a, join, w, x)
+			}
+		}
+		if w2 := w.Widen(w.Join(join)); w2 != w {
+			t.Fatalf("widening not stable: %v then %v", w, w2)
+		}
+
+		// Transfer soundness: every concrete pairwise result is contained.
+		sum := a.Add(b)
+		prod := a.Mul(b)
+		neg := a.Neg()
+		diff := a.Sub(b)
+		if len(am) > 0 && len(bm) > 0 {
+			wantSum := interval(math.MaxInt64, math.MinInt64)
+			wantProd := interval(math.MaxInt64, math.MinInt64)
+			for _, x := range am {
+				for _, y := range bm {
+					if !sum.Contains(x + y) {
+						t.Fatalf("Add(%v, %v) = %v loses %d+%d", a, b, sum, x, y)
+					}
+					if !prod.Contains(x * y) {
+						t.Fatalf("Mul(%v, %v) = %v loses %d*%d", a, b, prod, x, y)
+					}
+					if !diff.Contains(x - y) {
+						t.Fatalf("Sub(%v, %v) = %v loses %d-%d", a, b, diff, x, y)
+					}
+					if wantSum.Lo > x+y {
+						wantSum.Lo = x + y
+					}
+					if wantSum.Hi < x+y {
+						wantSum.Hi = x + y
+					}
+					if wantProd.Lo > x*y {
+						wantProd.Lo = x * y
+					}
+					if wantProd.Hi < x*y {
+						wantProd.Hi = x * y
+					}
+				}
+			}
+			// When both operands lie entirely inside the domain no saturation
+			// can occur: the transfer functions must be the exact hull.
+			if a.Lo >= -fuzzDomain && a.Hi <= fuzzDomain && b.Lo >= -fuzzDomain && b.Hi <= fuzzDomain {
+				if sum != wantSum {
+					t.Fatalf("Add(%v, %v) = %v, exact hull is %v", a, b, sum, wantSum)
+				}
+				if prod != wantProd {
+					t.Fatalf("Mul(%v, %v) = %v, exact hull is %v", a, b, prod, wantProd)
+				}
+				if a.MulCanOverflow(b) {
+					t.Fatalf("MulCanOverflow(%v, %v) on domain-bounded operands", a, b)
+				}
+				if a.AddMustOverflow(b) {
+					t.Fatalf("AddMustOverflow(%v, %v) on domain-bounded operands", a, b)
+				}
+			}
+			for _, x := range am {
+				if !neg.Contains(-x) {
+					t.Fatalf("Neg(%v) = %v loses %d", a, neg, -x)
+				}
+			}
+		}
+		if (a.IsEmpty() || b.IsEmpty()) && (!sum.IsEmpty() || !prod.IsEmpty()) {
+			t.Fatalf("empty operand did not produce empty Add/Mul: %v, %v", sum, prod)
+		}
+	})
+}
+
+// TestOverflowPredicates pins the corner-exact overflow predicates with the
+// sentinel conventions the fuzz target cannot reach through clampBound.
+func TestOverflowPredicates(t *testing.T) {
+	full := FullInterval()
+	if !full.MulCanOverflow(full) {
+		t.Error("unknown * unknown must be able to overflow")
+	}
+	if full.AddMustOverflow(full) {
+		t.Error("unknown + unknown must not be a proven overflow")
+	}
+	small := interval(0, 1<<20)
+	if small.MulCanOverflow(interval(0, 1<<20)) {
+		t.Error("2^20 * 2^20 cannot overflow int64")
+	}
+	if !interval(1<<40, 1<<40).MulCanOverflow(interval(1<<40, 1<<40)) {
+		t.Error("2^40 * 2^40 overflows int64")
+	}
+	pin := ConstInterval(math.MaxInt64 - 1)
+	if pin.AddMustOverflow(ConstInterval(1)) {
+		t.Error("MaxInt64-1 + 1 does not overflow")
+	}
+	if !pin.AddMustOverflow(ConstInterval(2)) {
+		t.Error("MaxInt64-1 + 2 provably overflows")
+	}
+	if !ConstInterval(math.MinInt64 + 1).AddMustOverflow(ConstInterval(-2)) {
+		t.Error("MinInt64+1 + -2 provably overflows")
+	}
+	if interval(0, math.MaxInt64).AddMustOverflow(ConstInterval(1)) {
+		t.Error("sentinel Hi must not count as a proven bound")
+	}
+}

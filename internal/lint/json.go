@@ -3,6 +3,7 @@ package lint
 import (
 	"encoding/json"
 	"io"
+	"sort"
 )
 
 // JSONFinding is the stable machine-readable record `poplint -json` emits,
@@ -34,4 +35,29 @@ func EncodeJSON(w io.Writer, findings []Finding) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(records)
+}
+
+// RuleCount is one rule's tally in a run's findings.
+type RuleCount struct {
+	Rule  string
+	Count int
+}
+
+// RuleCounts tallies findings per rule, sorted by rule name — the summary
+// cmd/poplint prints and the CI step surfaces next to the gate result.
+func RuleCounts(findings []Finding) []RuleCount {
+	byRule := map[string]int{}
+	for _, f := range findings {
+		byRule[f.Rule]++
+	}
+	names := make([]string, 0, len(byRule))
+	for name := range byRule {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]RuleCount, 0, len(names))
+	for _, name := range names {
+		out = append(out, RuleCount{Rule: name, Count: byRule[name]})
+	}
+	return out
 }

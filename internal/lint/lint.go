@@ -42,8 +42,9 @@ const allowPrefix = "//poplint:allow"
 
 // Analyzers returns the full POP suite in reporting order: the four
 // intra-procedural rules from the original suite, the doc-comment gate,
-// the four interprocedural rules built on the call graph, and the three
-// dataflow rules built on the CFG layer.
+// the four interprocedural rules built on the call graph, the three
+// dataflow rules built on the CFG layer, and the four value rules built on
+// the abstract-interpretation layer (absint.go/summaryval.go).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -58,6 +59,10 @@ func Analyzers() []*Analyzer {
 		BatchEscapeAnalyzer,
 		BlockingCancelAnalyzer,
 		GuardedFieldAnalyzer,
+		OverflowAnalyzer,
+		NilGuardAnalyzer,
+		RangeInvariantAnalyzer,
+		ExhaustiveAnalyzer,
 	}
 }
 

@@ -114,6 +114,14 @@ func TestGoldenFixtures(t *testing.T) {
 		{"blockingcancel/good", "repro/internal/server/fixblockgood"},
 		{"guardedfield/bad", "repro/internal/fixguard"},
 		{"guardedfield/good", "repro/internal/fixguardgood"},
+		{"overflow/bad", "repro/internal/optimizer/fixovf"},
+		{"overflow/good", "repro/internal/optimizer/fixovfgood"},
+		{"nilguard/bad", "repro/internal/fixnil"},
+		{"nilguard/good", "repro/internal/fixnilgood"},
+		{"rangeinvariant/bad", "repro/internal/fixrange"},
+		{"rangeinvariant/good", "repro/internal/fixrangegood"},
+		{"exhaustive/bad", "repro/internal/fixexh"},
+		{"exhaustive/good", "repro/internal/fixexhgood"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -1,0 +1,52 @@
+package lint
+
+// nilguard: no dereference of a value the value layer proves nil, or proves
+// possibly-nil on an error-handling path.
+//
+// Two severities, both from the solved nilness component (absint.go):
+//
+//   - provably nil (nilYes): the zero value or a nil assignment reaches the
+//     use on every path — e.g. using a result inside `if err != nil` when
+//     the callee's summary says that result is always nil alongside a
+//     non-nil error.
+//   - possibly nil on an error path (nilMaybe + fErrPath): the use sits on
+//     a path where `err != nil` held and the callee's summary says the
+//     sibling result is nil on at least one of its error returns. Plain
+//     nilMaybe without error-path evidence is NOT flagged — joins produce
+//     it constantly and the error-path bit is what separates "the analysis
+//     lost precision" from "this code ignored its error check".
+//
+// Method calls through a pointer receiver are never dereference sites: the
+// nil-receiver method is a supported Go idiom in this codebase (Meter and
+// trace recorders accept nil receivers by design). Interface method calls,
+// func-value calls, field accesses, *p, slice indexing and map writes are.
+
+// NilGuardAnalyzer is the nil-dereference value rule.
+var NilGuardAnalyzer = &Analyzer{
+	Name: "nilguard",
+	Doc:  "dereference, call, or field access on a value provably nil, or possibly nil on an error-handling path",
+	Run:  runNilGuard,
+}
+
+var nilGuardScope = []string{"repro"}
+
+func runNilGuard(prog *Program, report ReportFunc) {
+	va := programValues(prog)
+	for _, fn := range va.funcs {
+		if !inScope(fn.Pkg.Path, nilGuardScope) {
+			continue
+		}
+		sites := va.sites[fn]
+		if sites == nil {
+			continue
+		}
+		for _, s := range sites.derefs {
+			switch {
+			case s.v.nl == nilYes:
+				report(s.pos, "%s on %s, which is provably nil here", s.kind, s.name)
+			case s.v.nl == nilMaybe && s.v.flags&fErrPath != 0:
+				report(s.pos, "%s on %s, which may be nil on this error path (the paired error was non-nil)", s.kind, s.name)
+			}
+		}
+	}
+}

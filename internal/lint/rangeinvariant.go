@@ -1,0 +1,64 @@
+package lint
+
+// rangeinvariant: constructed validity ranges must satisfy Lo <= Hi, and
+// slice/batch indexing must stay inside the proven length bound.
+//
+// Both halves use PROVEN semantics — a finding means the bad state is
+// certain on some reachable path, not merely unexcluded:
+//
+//   - Range literals (any module struct named Range with float64 Lo/Hi,
+//     matched structurally so fixtures need no optimizer import) are
+//     flagged when the abstract floor of Lo exceeds the abstract ceiling
+//     of Hi. An inverted validity range makes its CHECK operator reject
+//     every cardinality, turning each execution into a spurious
+//     re-optimization — the exact robustness failure §3 of the paper's
+//     checkpointing discipline exists to prevent.
+//   - Index expressions are flagged when the index interval's minimum is
+//     at least the length's proven maximum (make-with-constant, array
+//     types, len-comparison refinement), or the index maximum is negative.
+//
+// Everything in between ("might be out of bounds") is deliberately silent:
+// interval joins lose too much for may-semantics to be tolerable here.
+
+// RangeInvariantAnalyzer is the range/bounds value rule.
+var RangeInvariantAnalyzer = &Analyzer{
+	Name: "rangeinvariant",
+	Doc:  "Range literals with provably inverted bounds (Lo > Hi) and slice indexing provably outside the length bound",
+	Run:  runRangeInvariant,
+}
+
+var rangeInvariantScope = []string{"repro"}
+
+func runRangeInvariant(prog *Program, report ReportFunc) {
+	va := programValues(prog)
+	for _, fn := range va.funcs {
+		if !inScope(fn.Pkg.Path, rangeInvariantScope) {
+			continue
+		}
+		sites := va.sites[fn]
+		if sites == nil {
+			continue
+		}
+		for _, s := range sites.ranges {
+			lo, hi := s.loV.iv, s.hiV.iv
+			if lo.IsEmpty() || hi.IsEmpty() || !lo.BoundedBelow() || !hi.BoundedAbove() {
+				continue
+			}
+			if lo.Lo > hi.Hi {
+				report(s.pos, "%s literal with Lo = %s provably greater than Hi = %s (every CHECK against it fails)", s.typeName, s.loS, s.hiS)
+			}
+		}
+		for _, s := range sites.indexes {
+			iv := s.idxV.iv
+			if iv.IsEmpty() {
+				continue
+			}
+			switch {
+			case s.hasLen && iv.BoundedBelow() && iv.Lo >= s.lenHi:
+				report(s.pos, "index %s (at least %d) provably exceeds len(%s) (at most %d)", s.idxS, iv.Lo, s.baseS, s.lenHi)
+			case iv.BoundedAbove() && iv.Hi < 0:
+				report(s.pos, "index %s is provably negative (at most %d)", s.idxS, iv.Hi)
+			}
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package fixallowval pins //poplint:allow coverage for the value rules:
+// each annotated site must be suppressed with annotations honored and
+// resurface with suppression disabled, and the unannotated twin must keep
+// firing either way.
+package fixallowval
+
+import "repro/internal/executor"
+
+// allowedCharge carries a reasoned allow on a may-overflow product.
+func allowedCharge(m *executor.Meter, perRow int64, rows int) {
+	m.AddTicks(perRow * int64(rows)) //poplint:allow overflow fixture pin: suppression must cover value-rule findings
+}
+
+// plainCharge is the unannotated twin: it must keep firing.
+func plainCharge(m *executor.Meter, perRow int64, rows int) {
+	m.AddTicks(perRow * int64(rows)) // want overflow
+}

@@ -6,6 +6,7 @@ package fixchargegood
 
 import (
 	"errors"
+	"math"
 
 	"repro/internal/executor"
 	"repro/internal/optimizer"
@@ -95,7 +96,12 @@ func (m *meteredBatchNode) NextBatch(max int) (*executor.Batch, error) {
 		return nil, nil
 	}
 	m.n--
-	m.meter.AddTicks(executor.Ticks(1) * int64(m.out.Len()))
+	t, k := executor.Ticks(1), int64(m.out.Len())
+	var charge int64
+	if k > 0 && t <= math.MaxInt64/k {
+		charge = t * k
+	}
+	m.meter.AddTicks(charge)
 	return m.out, nil
 }
 

@@ -1,0 +1,43 @@
+// Package fixexh is a poplint fixture: enum switches the exhaustive rule
+// must catch — switches over module string and integer enums that miss
+// declared constants without carrying a default.
+package fixexh
+
+type phase string
+
+const (
+	phasePlan  phase = "plan"
+	phaseExec  phase = "exec"
+	phaseReopt phase = "reopt"
+	phaseDone  phase = "done"
+)
+
+// describe misses two of phase's four constants and has no default.
+func describe(p phase) string {
+	switch p { // want exhaustive
+	case phasePlan:
+		return "planning"
+	case phaseExec:
+		return "executing"
+	}
+	return "?"
+}
+
+type level int
+
+const (
+	levelOff level = iota
+	levelInfo
+	levelDebug
+)
+
+// verbosity misses levelDebug on an integer enum.
+func verbosity(l level) bool {
+	switch l { // want exhaustive
+	case levelOff:
+		return false
+	case levelInfo:
+		return true
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+// Package fixexhgood is the clean twin of the exhaustive fixture: enum
+// switches either cover every constant value (aliases count by value) or
+// carry a default, and non-enum or undecidable switches are skipped.
+package fixexhgood
+
+type phase string
+
+const (
+	phasePlan  phase = "plan"
+	phaseExec  phase = "exec"
+	phaseReopt phase = "reopt"
+	phaseDone  phase = "done"
+	// phaseFinal aliases phaseDone's value: coverage is by value, so a case
+	// on either constant covers both.
+	phaseFinal phase = "done"
+)
+
+// describe covers every declared value.
+func describe(p phase) string {
+	switch p {
+	case phasePlan:
+		return "planning"
+	case phaseExec:
+		return "executing"
+	case phaseReopt:
+		return "reoptimizing"
+	case phaseDone:
+		return "done"
+	}
+	return "?"
+}
+
+// withDefault is total by construction.
+func withDefault(p phase) bool {
+	switch p {
+	default:
+		return false
+	case phasePlan:
+		return true
+	}
+}
+
+// nonConstant cases make coverage undecidable: the switch is skipped.
+func nonConstant(p, q phase) bool {
+	switch p {
+	case q:
+		return true
+	}
+	return false
+}
+
+// plainString switches over an ordinary string: not a module enum.
+func plainString(s string) bool {
+	switch s {
+	case "a":
+		return true
+	}
+	return false
+}

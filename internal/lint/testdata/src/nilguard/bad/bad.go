@@ -1,0 +1,56 @@
+// Package fixnil is a poplint fixture: dereferences the nilguard rule must
+// catch — using a result inside the error branch when the callee's summary
+// says that result is nil alongside a non-nil error, and dereferencing a
+// pointer zero value.
+package fixnil
+
+import "errors"
+
+type conn struct {
+	name string
+}
+
+// dial returns a nil conn with every non-nil error.
+func dial(name string) (*conn, error) {
+	if name == "" {
+		return nil, errors.New("empty name")
+	}
+	return &conn{name: name}, nil
+}
+
+// useOnErrPath reads the result inside the error branch: dial's summary
+// proves the conn is always nil there.
+func useOnErrPath(name string) string {
+	c, err := dial(name)
+	if err != nil {
+		return c.name // want nilguard
+	}
+	return c.name
+}
+
+// zeroDeref dereferences the pointer zero value.
+func zeroDeref() string {
+	var c *conn
+	return c.name // want nilguard
+}
+
+// dialFlaky sometimes pairs a non-nil conn with its error, so the error
+// branch only proves "maybe nil" — still flagged, because the paired error
+// was non-nil and one error return does carry nil.
+func dialFlaky(name string) (*conn, error) {
+	if name == "retry" {
+		return &conn{name: name}, errors.New("transient")
+	}
+	if name == "" {
+		return nil, errors.New("empty name")
+	}
+	return &conn{name: name}, nil
+}
+
+func useFlaky(name string) string {
+	c, err := dialFlaky(name)
+	if err != nil {
+		return c.name // want nilguard
+	}
+	return c.name
+}

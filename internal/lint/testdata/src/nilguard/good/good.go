@@ -1,0 +1,55 @@
+// Package fixnilgood is the clean twin of the nilguard fixture: results are
+// dereferenced only after the error check passes or behind an explicit nil
+// guard, and nil-tolerant pointer-receiver method calls stay exempt.
+package fixnilgood
+
+import "errors"
+
+type conn struct {
+	name string
+}
+
+// ping tolerates a nil receiver by design — the Meter/trace-recorder idiom.
+func (c *conn) ping() error {
+	if c == nil {
+		return nil
+	}
+	return nil
+}
+
+// dial returns a nil conn with every non-nil error.
+func dial(name string) (*conn, error) {
+	if name == "" {
+		return nil, errors.New("empty name")
+	}
+	return &conn{name: name}, nil
+}
+
+// useAfterCheck dereferences only on the non-error path, where the summary
+// proves the conn non-nil.
+func useAfterCheck(name string) (string, error) {
+	c, err := dial(name)
+	if err != nil {
+		return "", err
+	}
+	return c.name, nil
+}
+
+// useGuarded ignores the error but guards the pointer explicitly.
+func useGuarded(name string) string {
+	c, _ := dial(name)
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// pingOnErrPath calls a pointer-receiver method on the error path: never a
+// dereference site, because the receiver handles nil itself.
+func pingOnErrPath(name string) error {
+	c, err := dial(name)
+	if err != nil {
+		return c.ping()
+	}
+	return c.ping()
+}

@@ -1,0 +1,64 @@
+// Package fixovfgood is the clean twin of the overflow fixture: every
+// product feeding the meter is guarded with the MaxInt64/b idiom, bounded,
+// or routed through a saturating helper, and every division guards its
+// divisor first.
+package fixovfgood
+
+import (
+	"math"
+
+	"repro/internal/executor"
+)
+
+// chargeGuarded bounds the product with the MaxInt64/b guard idiom before
+// metering it.
+func chargeGuarded(m *executor.Meter, perRow int64, rows int) {
+	k := int64(rows)
+	if perRow <= 0 || k <= 0 {
+		return
+	}
+	if perRow > math.MaxInt64/k {
+		return
+	}
+	m.AddTicks(perRow * k)
+}
+
+// chargeSat routes the arithmetic through a saturating helper: the call
+// boundary stops sink propagation, and the helper itself guards.
+func chargeSat(m *executor.Meter, perRow int64, rows int) {
+	m.AddTicks(mulSat(perRow, int64(rows)))
+}
+
+func mulSat(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// bounded multiplies two interval-bounded operands: no corner overflows.
+func bounded(m *executor.Meter, rows int) {
+	if rows < 0 || rows > 1<<20 {
+		return
+	}
+	m.AddTicks(100 * int64(rows))
+}
+
+// selectivityGuarded excludes zero before dividing.
+func selectivityGuarded(card, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return card / n
+}
+
+// remainderGuarded guards the integer divisor.
+func remainderGuarded(total, n int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	return total % n
+}

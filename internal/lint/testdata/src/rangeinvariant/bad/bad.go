@@ -1,0 +1,43 @@
+// Package fixrange is a poplint fixture: invariant violations the
+// rangeinvariant rule must catch — validity Range literals with provably
+// inverted bounds and slice indexing provably outside the proven length.
+package fixrange
+
+// Range mirrors the optimizer's validity range; the rule matches the
+// shape (a module struct named Range with float64 Lo/Hi) structurally.
+type Range struct {
+	Lo, Hi float64
+}
+
+// inverted constructs a range that rejects every cardinality.
+func inverted() Range {
+	return Range{Lo: 10, Hi: 2} // want rangeinvariant
+}
+
+// swapped builds the bounds from locals whose intervals prove Lo > Hi.
+func swapped() Range {
+	lo := 8.0
+	hi := 4.0
+	return Range{Lo: lo, Hi: hi} // want rangeinvariant
+}
+
+// missingHi forgets the upper bound, leaving it at the zero value below Lo.
+func missingHi() Range {
+	return Range{Lo: 800} // want rangeinvariant
+}
+
+// pastEnd indexes beyond the length bound the guard just proved.
+func pastEnd(xs []int64) int64 {
+	if len(xs) > 4 {
+		return 0
+	}
+	return xs[7] // want rangeinvariant
+}
+
+// negative indexes with a provably negative index on the true edge.
+func negative(xs []int64, i int) int64 {
+	if i < 0 {
+		return xs[i] // want rangeinvariant
+	}
+	return xs[i]
+}

@@ -1,0 +1,39 @@
+// Package fixrangegood is the clean twin of the rangeinvariant fixture:
+// ranges are ordered and indexing stays inside what the guards prove.
+package fixrangegood
+
+// Range mirrors the optimizer's validity range.
+type Range struct {
+	Lo, Hi float64
+}
+
+// ordered builds a well-formed range.
+func ordered() Range {
+	return Range{Lo: 2, Hi: 10}
+}
+
+// fromLocals orders computed bounds.
+func fromLocals() Range {
+	lo := 4.0
+	hi := 8.0
+	return Range{Lo: lo, Hi: hi}
+}
+
+// inBounds indexes inside the guard-proven length.
+func inBounds(xs []int64) int64 {
+	if len(xs) > 4 {
+		return xs[3]
+	}
+	return 0
+}
+
+// clamped keeps the index non-negative and below the length before use.
+func clamped(xs []int64, i int) int64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		return 0
+	}
+	return xs[i]
+}

@@ -1,0 +1,98 @@
+package lint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestJSONDeterminismValueRules extends the eight-run byte-identity pin to
+// the abstract-interpretation rules: the worklist solver, the summary
+// fixpoint, and the site collection must order findings entirely through
+// the deterministic sort, never through map iteration.
+func TestJSONDeterminismValueRules(t *testing.T) {
+	fixtures := []struct {
+		dir    string
+		asPath string
+		rule   string
+	}{
+		{"overflow/bad", "repro/internal/optimizer/fixovf", "overflow"},
+		{"nilguard/bad", "repro/internal/fixnil", "nilguard"},
+		{"rangeinvariant/bad", "repro/internal/fixrange", "rangeinvariant"},
+		{"exhaustive/bad", "repro/internal/fixexh", "exhaustive"},
+	}
+	for _, fx := range fixtures {
+		prog := loadFixture(t, fx.dir, fx.asPath)
+		var first []byte
+		for i := 0; i < 8; i++ {
+			findings, _ := lint.Run(prog, lint.Analyzers(), lint.Options{})
+			var buf bytes.Buffer
+			if err := lint.EncodeJSON(&buf, findings); err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				first = buf.Bytes()
+				if !bytes.Contains(first, []byte(fx.rule)) {
+					t.Fatalf("%s: expected %s findings in JSON output:\n%s", fx.dir, fx.rule, first)
+				}
+				continue
+			}
+			if !bytes.Equal(first, buf.Bytes()) {
+				t.Fatalf("%s: run %d JSON differs:\nfirst:\n%s\nnow:\n%s", fx.dir, i, first, buf.Bytes())
+			}
+		}
+	}
+}
+
+// TestValueRuleAllowIsLoadBearing pins suppression for the value rules the
+// way TestDataflowAllowsAreLoadBearing does for the CFG rules: an annotated
+// overflow site disappears from findings, shows up among the suppressed,
+// and resurfaces with suppression disabled — while the unannotated twin
+// fires throughout.
+func TestValueRuleAllowIsLoadBearing(t *testing.T) {
+	prog := loadFixture(t, "allowvalue/src", "repro/internal/fixallowval")
+
+	findings, suppressed := lint.Run(prog, lint.Analyzers(), lint.Options{})
+	diffStrings(t, "allowvalue honored", expectedFindings(prog), gotFindings(findings))
+	if !hasRuleFinding(suppressed, "overflow", "src.go") {
+		t.Error("annotated overflow site missing from suppressed findings")
+	}
+
+	unsuppressed, _ := lint.Run(prog, lint.Analyzers(), lint.Options{DisableAllow: true})
+	var overflowCount int
+	for _, f := range unsuppressed {
+		if f.Rule == "overflow" {
+			overflowCount++
+		}
+	}
+	if overflowCount != 2 {
+		t.Errorf("disabling allows resurfaced %d overflow findings, want 2 (annotated + twin)", overflowCount)
+	}
+}
+
+// TestRuleCounts pins the per-rule tally cmd/poplint reports in CI: counts
+// key by rule name, sum to the finding total, and unlisted rules are absent.
+func TestRuleCounts(t *testing.T) {
+	prog := loadFixture(t, "overflow/bad", "repro/internal/optimizer/fixovf")
+	findings, _ := lint.Run(prog, lint.Analyzers(), lint.Options{})
+	counts := lint.RuleCounts(findings)
+	total := 0
+	for _, rc := range counts {
+		if rc.Count <= 0 {
+			t.Errorf("rule %s reported non-positive count %d", rc.Rule, rc.Count)
+		}
+		total += rc.Count
+	}
+	if total != len(findings) {
+		t.Errorf("rule counts sum to %d, want %d", total, len(findings))
+	}
+	if len(counts) == 0 || counts[0].Rule != "overflow" {
+		t.Errorf("overflow fixture counts = %+v, want overflow first", counts)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i-1].Rule >= counts[i].Rule {
+			t.Errorf("rule counts not sorted by rule name: %+v", counts)
+		}
+	}
+}

@@ -247,8 +247,9 @@ func partitionableScan(p *Plan) bool {
 	switch p.Op {
 	case OpTableScan, OpIndexScan, OpMVScan:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // maybeGather wraps a partitionable scan in a GATHER exchange when the

@@ -51,6 +51,9 @@ func NodeLabel(p *Plan, q *logical.Query) string {
 		}
 	case OpExchange:
 		fmt.Fprintf(&b, "[%s dop=%d]", p.ExKind, p.DOP)
+	default:
+		// Joins, sorts, aggregates and projections label themselves with
+		// the bare OpKind written above.
 	}
 	return b.String()
 }

@@ -52,8 +52,9 @@ func visibleWeight(p expr.Expr) int {
 		return 4
 	case expr.LT, expr.LE, expr.GT, expr.GE:
 		return 2
+	default:
+		return 1 // NE barely filters
 	}
-	return 1
 }
 
 // visibleScores computes each table's visible-selectivity score: the sum of

@@ -33,15 +33,34 @@ type Strategy interface {
 	Runtime(Options) Options
 }
 
+// StrategyName is the stable identifier of a built-in strategy. It is a
+// named type so switches dispatching on a strategy fall under poplint's
+// exhaustive rule: adding a strategy without updating every switch is a
+// lint error, not a silently ignored row.
+type StrategyName string
+
+// The built-in strategy names, in canonical display order.
+const (
+	// NameDPPOP names the engine default: DP join ordering + guarded POP.
+	NameDPPOP StrategyName = "dp-pop"
+	// NameGreedyPOP names greedy join ordering + guarded POP.
+	NameGreedyPOP StrategyName = "greedy-pop"
+	// NameGreedyOnly names greedy join ordering with adaptivity off.
+	NameGreedyOnly StrategyName = "greedy-only"
+	// NameReoptUnguarded names unguarded re-optimization at every checkpoint.
+	NameReoptUnguarded StrategyName = "reopt-unguarded"
+)
+
 // strategy is the shared Strategy implementation: a name, a description and
 // two optional hooks.
 type strategy struct {
-	name, desc string
-	plan       func(*optimizer.Optimizer)
-	runtime    func(Options) Options
+	name    StrategyName
+	desc    string
+	plan    func(*optimizer.Optimizer)
+	runtime func(Options) Options
 }
 
-func (s *strategy) Name() string     { return s.name }
+func (s *strategy) Name() string     { return string(s.name) }
 func (s *strategy) Describe() string { return s.desc }
 
 func (s *strategy) PlanConfig(opt *optimizer.Optimizer) {
@@ -65,7 +84,7 @@ var (
 	// DP join ordering plus progressive optimization with validity-range
 	// guarded checkpoints.
 	DPPOP Strategy = &strategy{
-		name: "dp-pop",
+		name: NameDPPOP,
 		desc: "DP join ordering + POP with validity-range checkpoints (the paper's configuration)",
 	}
 
@@ -73,7 +92,7 @@ var (
 	// but keeps POP's guarded checkpoints: planning is ~constant-time, and
 	// mis-orderings the heuristic causes are caught and repaired at run time.
 	GreedyPOP Strategy = &strategy{
-		name: "greedy-pop",
+		name: NameGreedyPOP,
 		desc: "statistics-free greedy join ordering + POP validity-range checkpoints",
 		plan: greedyOrder,
 	}
@@ -82,7 +101,7 @@ var (
 	// possible planning and zero runtime safety net — the janus-datalog
 	// position that statistics (and re-optimization) are unnecessary.
 	GreedyOnly Strategy = &strategy{
-		name: "greedy-only",
+		name: NameGreedyOnly,
 		desc: "statistics-free greedy join ordering, no re-optimization",
 		plan: greedyOrder,
 		runtime: func(o Options) Options {
@@ -102,7 +121,7 @@ var (
 	// the observed cardinality passes — and MaxReopts still bounds the
 	// oscillation.
 	ReoptUnguarded Strategy = &strategy{
-		name: "reopt-unguarded",
+		name: NameReoptUnguarded,
 		desc: "DP join ordering + re-optimization at every checkpoint on any estimate deviation (no validity ranges)",
 		runtime: func(o Options) Options {
 			o.Enabled = true

@@ -12,20 +12,26 @@ import (
 // (subject to admission control) and responses may arrive out of order. The
 // HTTP endpoint reuses the same two types, one Request per POST /query body.
 
+// Code classifies the failure a Response carries; empty on success. It is
+// a named type so switches over it (HTTP status mapping, client retry
+// policy) fall under poplint's exhaustive rule: adding a code without
+// updating every switch is a lint error, not a silent fallthrough.
+type Code string
+
 // Error codes a Response can carry; empty on success.
 const (
 	// CodeDraining rejects queries arriving after shutdown began.
-	CodeDraining = "draining"
+	CodeDraining Code = "draining"
 	// CodeBackpressure rejects a session whose admission-queue allowance is
 	// exhausted; the client should finish in-flight queries before retrying.
-	CodeBackpressure = "backpressure"
+	CodeBackpressure Code = "backpressure"
 	// CodeParse reports a malformed request or SQL that failed to parse.
-	CodeParse = "parse"
+	CodeParse Code = "parse"
 	// CodeExec reports an execution-time failure.
-	CodeExec = "exec"
+	CodeExec Code = "exec"
 	// CodeCanceled reports a query abandoned because its context ended
 	// (connection closed, deadline exceeded).
-	CodeCanceled = "canceled"
+	CodeCanceled Code = "canceled"
 )
 
 // Request operations.
@@ -80,7 +86,7 @@ type Response struct {
 	ID    int64  `json:"id"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
-	Code  string `json:"code,omitempty"`
+	Code  Code   `json:"code,omitempty"`
 
 	Rows     []string `json:"rows,omitempty"`
 	RowCount int      `json:"row_count,omitempty"`
@@ -99,6 +105,6 @@ type Response struct {
 
 // errResponse builds a failure response, mapping known error types to their
 // wire codes.
-func errResponse(id int64, code string, err error) Response {
+func errResponse(id int64, code Code, err error) Response {
 	return Response{ID: id, OK: false, Error: err.Error(), Code: code}
 }
